@@ -1,0 +1,38 @@
+"""Ablation: precedence preemption on vs off.
+
+Paper section 3.4 / Table 1: Omega's cluster-wide policy model is
+"free-for-all, priority preemption" — a service scheduler may claim
+resources "even ones that another scheduler has already acquired". The
+paper's high-fidelity simulator disabled preemption because "they make
+little difference to the results, but significantly slow down the
+simulations".
+
+This ablation runs a nearly-full cell with and without preemption and
+reports both sides of that statement: preemptions do happen (service
+jobs evict batch tasks and the victims reschedule), while the headline
+metrics move only modestly.
+"""
+
+from repro.experiments.ablations import preemption_rows
+
+from conftest import bench_horizon, bench_scale
+
+
+def test_ablation_preemption(report):
+    rows = report(
+        lambda: preemption_rows(
+            scale=bench_scale(0.2), horizon=bench_horizon(2.0)
+        ),
+        "Ablation: service-over-batch preemption on a nearly-full cell",
+    )
+    by_mode = {row["preemption"]: row for row in rows}
+    # Preemption actually fires on a nearly-full cell...
+    assert by_mode["on"]["tasks_preempted"] > 0
+    assert by_mode["on"]["batch_tasks_lost"] == by_mode["on"]["tasks_preempted"]
+    assert by_mode["off"]["tasks_preempted"] == 0
+    # ...and, per the paper's observation, makes little difference to
+    # the aggregate outcome at this operating point.
+    assert abs(
+        by_mode["on"]["unscheduled_fraction"]
+        - by_mode["off"]["unscheduled_fraction"]
+    ) < 0.05

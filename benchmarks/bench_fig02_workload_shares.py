@@ -1,0 +1,20 @@
+"""Figure 2: batch and service workload shares for clusters A, B, C.
+
+Paper shape: batch is > 80 % of jobs (J) and most tasks (T), yet
+service jobs hold the majority (55-80 %) of requested CPU-core-seconds
+(C) and RAM GB-seconds (R).
+"""
+
+from repro.experiments.workload_char import figure2_rows
+
+
+def test_fig02_workload_shares(report):
+    rows = report(
+        lambda: figure2_rows(samples=40_000, seed=0),
+        "Figure 2: normalized batch/service shares (J, T, C, R)",
+    )
+    for row in rows:
+        if row["metric"] == "jobs":
+            assert row["batch_share"] > 0.80, row
+        if row["metric"] in ("cpu_core_seconds", "ram_gb_seconds"):
+            assert 0.55 < row["service_share"] < 0.80, row

@@ -1,0 +1,24 @@
+"""Figure 3: CDFs of job runtime and job inter-arrival time.
+
+Paper shape: batch runtimes cluster at minutes (solid lines rise
+early); service runtimes stretch to days and the CDF does not reach 1.0
+at the 29-day mark (some service jobs outlive the trace window); batch
+inter-arrival times are much shorter than service ones.
+"""
+
+from repro.experiments.workload_char import figure3_rows
+
+
+def test_fig03_runtime_and_interarrival_cdfs(report):
+    rows = report(
+        lambda: figure3_rows(samples=40_000, seed=0),
+        "Figure 3: runtime and inter-arrival CDFs at labeled axis points",
+    )
+    by_key = {(row["cluster"], row["type"]): row for row in rows}
+    for cluster in "ABC":
+        batch = by_key[(cluster, "batch")]
+        service = by_key[(cluster, "service")]
+        assert batch["runtime_cdf@29d"] > 0.999
+        assert service["runtime_cdf@29d"] < 0.97  # tail beyond the window
+        assert service["runtime_cdf@1h"] < batch["runtime_cdf@1h"]
+        assert batch["interarrival_cdf@1min"] > service["interarrival_cdf@1min"]

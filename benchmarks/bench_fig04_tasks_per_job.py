@@ -1,0 +1,19 @@
+"""Figure 4: CDF of the number of tasks in a job (with the >= 95th
+percentile tail panel).
+
+Paper shape: most jobs are small, but the tail reaches thousands of
+tasks.
+"""
+
+from repro.experiments.workload_char import figure4_rows
+
+
+def test_fig04_tasks_per_job_cdf(report):
+    rows = report(
+        lambda: figure4_rows(samples=40_000, seed=0),
+        "Figure 4: tasks-per-job CDF and tail",
+    )
+    for row in rows:
+        assert row["cdf@100"] > 0.8  # most jobs are small
+        assert row["frac_jobs_ge_100_tasks"] > 0.05  # visible tail
+        assert row["frac_jobs_ge_1000_tasks"] > 0.001  # thousands happen

@@ -1,0 +1,19 @@
+"""Tables 1 and 2: the qualitative design-comparison tables, rendered
+from the structured data the implementation is checked against."""
+
+from repro.experiments.tables import table1_rows, table2_rows
+
+
+def test_table1_approaches(report):
+    rows = report(table1_rows, "Table 1: comparison of cluster scheduling approaches")
+    assert len(rows) == 4
+    by_name = {row["approach"]: row for row in rows}
+    assert by_name["Shared-state (Omega)"]["interference"] == "optimistic"
+    assert by_name["Two-level (Mesos)"]["interference"] == "pessimistic"
+
+
+def test_table2_simulators(report):
+    rows = report(table2_rows, "Table 2: lightweight vs high-fidelity simulator")
+    properties = {row["property"] for row in rows}
+    assert "Sched. constraints" in properties
+    assert "Sched. algorithm" in properties

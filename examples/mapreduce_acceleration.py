@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The section 6 case study: opportunistic MapReduce acceleration.
+
+Runs the specialized MapReduce scheduler under each allocation policy
+on the small, lightly-loaded cluster D and prints the speedup
+distribution (Figure 15's data) plus the utilization dispersion
+(Figure 16's point: max-parallelism raises utilization variability).
+
+Usage::
+
+    python examples/mapreduce_acceleration.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.experiments.mapreduce import run_mapreduce_experiment
+from repro.mapreduce import (
+    GlobalCapPolicy,
+    MaxParallelismPolicy,
+    NoAccelerationPolicy,
+    RelativeJobSizePolicy,
+)
+
+
+def main() -> None:
+    policies = [
+        NoAccelerationPolicy(),
+        MaxParallelismPolicy(),
+        RelativeJobSizePolicy(),
+        GlobalCapPolicy(),
+    ]
+    rows = []
+    for policy in policies:
+        run = run_mapreduce_experiment(
+            "D", policy, horizon=3 * 3600.0, seed=1, scale=0.5
+        )
+        cpu = np.array([u for _, u, _ in run.utilization_series])
+        rows.append(
+            {
+                "policy": run.policy,
+                "mr_jobs": len(run.speedups),
+                "accelerated": f"{run.fraction_accelerated:.0%}",
+                "speedup_p50": run.percentile(50),
+                "speedup_p80": run.percentile(80),
+                "speedup_p95": run.percentile(95),
+                "util_mean": float(cpu.mean()),
+                "util_std": float(cpu.std()),
+            }
+        )
+    print("MapReduce acceleration on cluster D (lightly loaded)\n")
+    print(format_table(rows))
+    print(
+        "\nThe paper reports 50-70% of jobs benefiting and ~3-4x speedup "
+        "at the 80th percentile for max-parallelism; note global-cap "
+        "performing best on this under-utilized cluster, as in Figure 15."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: one Omega shared-state simulation on cluster B.
+
+Runs two hours of simulated cluster operation with the default
+batch + service scheduler pair and prints the paper's core metrics
+(job wait time, scheduler busyness, conflict fraction).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import CLUSTER_B, JobType, LightweightConfig, run_lightweight
+
+
+def main() -> None:
+    config = LightweightConfig(
+        preset=CLUSTER_B.scaled(0.25),  # quarter-size cell for a fast demo
+        architecture="omega",
+        horizon=2 * 3600.0,  # two simulated hours
+        seed=42,
+    )
+    result = run_lightweight(config)
+
+    print(f"cluster: {config.preset.name} ({config.preset.num_machines} machines)")
+    print(f"simulated horizon: {config.horizon / 3600:.1f} h")
+    print(f"jobs submitted:  {result.jobs_submitted}")
+    print(f"jobs scheduled:  {result.jobs_scheduled}")
+    print(f"jobs abandoned:  {result.jobs_abandoned}")
+    print()
+    print("            wait time   busyness   conflict fraction")
+    for role, job_type in (("batch", JobType.BATCH), ("service", JobType.SERVICE)):
+        print(
+            f"  {role:8s}  {result.mean_wait(job_type):8.3f} s"
+            f"  {result.busyness(role):8.3f}"
+            f"  {result.conflict_fraction(role):12.4f}"
+        )
+    print()
+    print(f"final CPU utilization: {result.final_cpu_utilization:.1%}")
+    print(f"events processed:      {result.events_processed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (offline boxes with older pip); configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

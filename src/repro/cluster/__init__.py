@@ -1,0 +1,13 @@
+"""Cluster and machine model.
+
+A *cell* (the paper's term for the management unit of part of a physical
+cluster, section 3.4 footnote 4) is an inventory of machines with CPU and
+RAM capacities, optional attributes for placement constraints, and
+failure-domain (rack) membership used by the high-fidelity placement
+algorithm's spreading score.
+"""
+
+from repro.cluster.cell import Cell
+from repro.cluster.machine import Machine
+
+__all__ = ["Cell", "Machine"]

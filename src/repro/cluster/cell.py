@@ -1,0 +1,138 @@
+"""Cell: the inventory of machines a set of schedulers manages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+
+
+class Cell:
+    """An immutable collection of machines plus capacity arrays.
+
+    The capacity arrays (``cpu_capacity``, ``mem_capacity``) are the
+    vectorized view used by placement algorithms and by
+    :class:`repro.core.cellstate.CellState`; index ``i`` in the arrays is
+    machine ``i``.
+    """
+
+    def __init__(self, machines: Sequence[Machine], name: str = "cell") -> None:
+        if not machines:
+            raise ValueError("a cell must contain at least one machine")
+        for position, machine in enumerate(machines):
+            if machine.index != position:
+                raise ValueError(
+                    f"machine at position {position} has index {machine.index}; "
+                    "machine indices must match their position in the cell"
+                )
+        self.name = name
+        self.machines: tuple[Machine, ...] = tuple(machines)
+        self.cpu_capacity = np.array([m.cpu for m in machines], dtype=np.float64)
+        self.mem_capacity = np.array([m.mem for m in machines], dtype=np.float64)
+        self.cpu_capacity.setflags(write=False)
+        self.mem_capacity.setflags(write=False)
+        self.racks = np.array([m.rack for m in machines], dtype=np.int64)
+        self.racks.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines)
+
+    def __getitem__(self, index: int) -> Machine:
+        return self.machines[index]
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_cpu(self) -> float:
+        return float(self.cpu_capacity.sum())
+
+    @property
+    def total_mem(self) -> float:
+        return float(self.mem_capacity.sum())
+
+    def subcell(self, indices: Iterable[int], name: str | None = None) -> "Cell":
+        """Build a new cell from a subset of this cell's machines.
+
+        Machines are re-indexed to match their position in the new cell
+        (used by the statically-partitioned scheduler, which splits one
+        physical cell into fixed per-scheduler partitions).
+        """
+        picked = [self.machines[i] for i in indices]
+        reindexed = [
+            Machine(
+                index=new_index,
+                cpu=m.cpu,
+                mem=m.mem,
+                rack=m.rack,
+                attributes=dict(m.attributes),
+            )
+            for new_index, m in enumerate(picked)
+        ]
+        return Cell(reindexed, name=name or f"{self.name}/sub")
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_machines: int,
+        cpu_per_machine: float,
+        mem_per_machine: float,
+        machines_per_rack: int = 40,
+        name: str = "cell",
+    ) -> "Cell":
+        """Build the homogeneous cell used by the lightweight simulator
+        (Table 2: "Machines: homogeneous")."""
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        if machines_per_rack <= 0:
+            raise ValueError("machines_per_rack must be positive")
+        machines = [
+            Machine(
+                index=i,
+                cpu=cpu_per_machine,
+                mem=mem_per_machine,
+                rack=i // machines_per_rack,
+            )
+            for i in range(num_machines)
+        ]
+        return cls(machines, name=name)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        platforms: Sequence[tuple[int, float, float, dict[str, str]]],
+        machines_per_rack: int = 40,
+        name: str = "cell",
+    ) -> "Cell":
+        """Build a heterogeneous cell for the high-fidelity simulator.
+
+        ``platforms`` is a sequence of ``(count, cpu, mem, attributes)``
+        tuples, mirroring the mixed machine classes in Google cells
+        (Table 2: "Machines: actual data" — substituted per DESIGN.md).
+        """
+        machines: list[Machine] = []
+        for count, cpu, mem, attributes in platforms:
+            if count <= 0:
+                raise ValueError("platform machine count must be positive")
+            for _ in range(count):
+                index = len(machines)
+                machines.append(
+                    Machine(
+                        index=index,
+                        cpu=cpu,
+                        mem=mem,
+                        rack=index // machines_per_rack,
+                        attributes=attributes,
+                    )
+                )
+        return cls(machines, name=name)

@@ -1,0 +1,188 @@
+"""Cell state: the shared master copy of resource allocations.
+
+Paper section 3.4: "We maintain a resilient master copy of the resource
+allocations in the cluster, which we call cell state. Each scheduler is
+given a private, local, frequently-updated copy of cell state that it
+uses for making scheduling decisions."
+
+:class:`CellState` is the master copy; :meth:`CellState.snapshot`
+produces the private copy (a :class:`CellSnapshot`). Per-machine
+sequence numbers support the coarse-grained conflict detection variant
+of section 5.2 ("a simple sequence number in the machine's state
+object") and are bumped on every state change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import Cell
+
+#: Tolerance for floating-point resource accounting. A machine is
+#: considered able to hold a task if the request exceeds the free amount
+#: by no more than this.
+EPSILON = 1e-9
+
+
+class OvercommitError(RuntimeError):
+    """Raised when an operation would over-commit a machine.
+
+    Commits never raise this (conflicting claims are *rejected*, not
+    applied); it guards direct mutation paths against bugs.
+    """
+
+
+class CellSnapshot:
+    """A scheduler's private, local copy of cell state.
+
+    Cheap to take (three array copies) and read-only from the master's
+    point of view: schedulers may freely mutate their snapshot while
+    planning (placement subtracts planned claims so one job's tasks
+    stack correctly), and the master copy is only changed by
+    :func:`repro.core.transaction.commit`.
+    """
+
+    __slots__ = ("free_cpu", "free_mem", "seq", "time")
+
+    def __init__(
+        self,
+        free_cpu: np.ndarray,
+        free_mem: np.ndarray,
+        seq: np.ndarray,
+        time: float,
+    ) -> None:
+        self.free_cpu = free_cpu
+        self.free_mem = free_mem
+        self.seq = seq
+        self.time = time
+
+    @property
+    def num_machines(self) -> int:
+        return self.free_cpu.shape[0]
+
+
+class CellState:
+    """The shared master copy of per-machine free resources.
+
+    Invariants (property-tested in ``tests/core/test_cellstate.py``):
+
+    * ``0 <= free <= capacity`` in both dimensions on every machine,
+    * used totals equal capacity minus free,
+    * sequence numbers never decrease.
+    """
+
+    def __init__(self, cell: Cell) -> None:
+        self.cell = cell
+        self.free_cpu = cell.cpu_capacity.copy()
+        self.free_mem = cell.mem_capacity.copy()
+        self.seq = np.zeros(len(cell), dtype=np.int64)
+        self._used_cpu = 0.0
+        self._used_mem = 0.0
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return len(self.cell)
+
+    @property
+    def used_cpu(self) -> float:
+        return self._used_cpu
+
+    @property
+    def used_mem(self) -> float:
+        return self._used_mem
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self._used_cpu / self.cell.total_cpu
+
+    @property
+    def mem_utilization(self) -> float:
+        return self._used_mem / self.cell.total_mem
+
+    @property
+    def idle_cpu(self) -> float:
+        return self.cell.total_cpu - self._used_cpu
+
+    @property
+    def idle_mem(self) -> float:
+        return self.cell.total_mem - self._used_mem
+
+    def snapshot(self, time: float = 0.0) -> CellSnapshot:
+        """Take a private copy of the current state (sync point of an
+        Omega transaction)."""
+        return CellSnapshot(
+            self.free_cpu.copy(), self.free_mem.copy(), self.seq.copy(), time
+        )
+
+    def fits(self, machine: int, cpu: float, mem: float, count: int = 1) -> bool:
+        """Whether ``count`` tasks of the given size fit on ``machine`` now."""
+        return (
+            self.free_cpu[machine] + EPSILON >= cpu * count
+            and self.free_mem[machine] + EPSILON >= mem * count
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations (used by transaction commit and task completion)
+    # ------------------------------------------------------------------
+    def claim(self, machine: int, cpu: float, mem: float, count: int = 1) -> None:
+        """Allocate ``count`` tasks' resources on ``machine``.
+
+        Raises :class:`OvercommitError` if they do not fit — commit
+        logic must check first; this is the last-line safety net that
+        keeps the master copy consistent ("all must agree on ... a
+        common notion of whether a machine is full").
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        total_cpu = cpu * count
+        total_mem = mem * count
+        if (
+            self.free_cpu[machine] + EPSILON < total_cpu
+            or self.free_mem[machine] + EPSILON < total_mem
+        ):
+            raise OvercommitError(
+                f"claim of {count} x ({cpu} cpu, {mem} mem) does not fit on "
+                f"machine {machine} (free: {self.free_cpu[machine]} cpu, "
+                f"{self.free_mem[machine]} mem)"
+            )
+        self.free_cpu[machine] -= total_cpu
+        self.free_mem[machine] -= total_mem
+        # Clamp float dust so "exactly full" machines read as full, not
+        # as negative free capacity.
+        if self.free_cpu[machine] < 0.0:
+            self.free_cpu[machine] = 0.0
+        if self.free_mem[machine] < 0.0:
+            self.free_mem[machine] = 0.0
+        self._used_cpu += total_cpu
+        self._used_mem += total_mem
+        self.seq[machine] += 1
+
+    def release(self, machine: int, cpu: float, mem: float, count: int = 1) -> None:
+        """Return ``count`` tasks' resources on ``machine`` (task end or
+        preemption)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        total_cpu = cpu * count
+        total_mem = mem * count
+        new_free_cpu = self.free_cpu[machine] + total_cpu
+        new_free_mem = self.free_mem[machine] + total_mem
+        if (
+            new_free_cpu > self.cell.cpu_capacity[machine] + EPSILON
+            or new_free_mem > self.cell.mem_capacity[machine] + EPSILON
+        ):
+            raise OvercommitError(
+                f"release of {count} x ({cpu} cpu, {mem} mem) on machine "
+                f"{machine} exceeds its capacity"
+            )
+        self.free_cpu[machine] = min(new_free_cpu, self.cell.cpu_capacity[machine])
+        self.free_mem[machine] = min(new_free_mem, self.cell.mem_capacity[machine])
+        self._used_cpu -= total_cpu
+        self._used_mem -= total_mem
+        if self._used_cpu < 0.0:
+            self._used_cpu = 0.0
+        if self._used_mem < 0.0:
+            self._used_mem = 0.0
+        self.seq[machine] += 1

@@ -1,0 +1,41 @@
+"""Load-balancing one workload across multiple Omega schedulers.
+
+Paper sections 4.3 and 5.1: "the batch scheduling work is load-balanced
+across the schedulers using a simple hashing function". This is the
+mechanism behind Figure 9 (1-32 lightweight batch schedulers) and
+Figure 13 (three high-fidelity batch schedulers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workload.job import Job
+
+
+class SchedulerPool:
+    """Routes jobs across a pool of schedulers by hashing the job id.
+
+    Any object with a ``submit(job)`` method can be a pool member, so
+    pools compose with :class:`repro.core.scheduler.OmegaScheduler` and
+    with the high-fidelity variant alike.
+    """
+
+    def __init__(self, schedulers: Sequence) -> None:
+        if not schedulers:
+            raise ValueError("a scheduler pool needs at least one scheduler")
+        self.schedulers = list(schedulers)
+
+    def __len__(self) -> int:
+        return len(self.schedulers)
+
+    def route(self, job: Job) -> int:
+        """The pool index responsible for ``job`` (stable across calls)."""
+        return job.job_id % len(self.schedulers)
+
+    def submit(self, job: Job) -> None:
+        self.schedulers[self.route(job)].submit(job)
+
+    @property
+    def names(self) -> list[str]:
+        return [scheduler.name for scheduler in self.schedulers]

@@ -1,0 +1,173 @@
+"""Placement strategies for the lightweight simulator.
+
+The paper's lightweight simulator uses **randomized first fit**
+(Table 2). Tasks of a job are identical (see :mod:`repro.workload.job`),
+so placement walks candidate machines in some order and packs as many
+tasks as fit onto each — which is exactly first fit for identical items.
+
+Two additional orders are provided for the placement-strategy ablation
+(`benchmarks/bench_ablation_placement.py`): **best fit** (fullest
+feasible machines first — what the production-algorithm stand-in in
+:mod:`repro.hifi.placement` does) and **worst fit** (emptiest first).
+The order matters for *interference*: deterministic best-fit makes
+concurrent schedulers pick the same machines, which is one of the two
+reasons the paper's high-fidelity simulator sees more conflicts than
+the lightweight one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cellstate import EPSILON
+from repro.core.transaction import Claim
+
+
+def randomized_first_fit(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+) -> list[Claim]:
+    """Plan placements for ``num_tasks`` identical tasks.
+
+    Reads (does not mutate) the free arrays — typically a scheduler's
+    private snapshot. Returns at most one :class:`Claim` per machine;
+    the total claimed count is ``<= num_tasks`` (fewer when the view has
+    insufficient room, in which case the scheduler retries the job
+    later, per the paper's incremental-placement policy).
+    """
+    if num_tasks < 1:
+        raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+    if cpu <= 0 and mem <= 0:
+        raise ValueError("tasks must request some resource")
+
+    candidates = np.flatnonzero(
+        (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
+    )
+    if candidates.size == 0:
+        return []
+    rng.shuffle(candidates)
+    return _pack(candidates, free_cpu, free_mem, cpu, mem, num_tasks)
+
+
+def _validate(cpu: float, mem: float, num_tasks: int) -> None:
+    if num_tasks < 1:
+        raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+    if cpu <= 0 and mem <= 0:
+        raise ValueError("tasks must request some resource")
+
+
+def _pack(
+    candidates: np.ndarray,
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+) -> list[Claim]:
+    """Walk candidates in order, packing as many tasks as fit on each."""
+    claims: list[Claim] = []
+    remaining = num_tasks
+    for machine in candidates:
+        per_machine = remaining
+        if cpu > 0:
+            per_machine = min(per_machine, int((free_cpu[machine] + EPSILON) // cpu))
+        if mem > 0:
+            per_machine = min(per_machine, int((free_mem[machine] + EPSILON) // mem))
+        if per_machine <= 0:
+            continue
+        claims.append(
+            Claim(machine=int(machine), cpu=cpu, mem=mem, count=per_machine)
+        )
+        remaining -= per_machine
+        if remaining == 0:
+            break
+    return claims
+
+def _ordered_fit(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+    descending_free: bool,
+) -> list[Claim]:
+    """First fit over candidates sorted by free capacity.
+
+    ``descending_free=False`` is best fit (fullest machines first),
+    ``True`` is worst fit (emptiest first). A small random jitter breaks
+    ties so repeated identical calls do not always produce one ordering.
+    """
+    _validate(cpu, mem, num_tasks)
+    candidates = np.flatnonzero(
+        (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
+    )
+    if candidates.size == 0:
+        return []
+    keys = free_cpu[candidates] + free_mem[candidates]
+    keys = keys + rng.uniform(0.0, 1e-9, size=keys.shape)
+    order = np.argsort(-keys if descending_free else keys, kind="stable")
+    return _pack(candidates[order], free_cpu, free_mem, cpu, mem, num_tasks)
+
+
+def best_fit(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+) -> list[Claim]:
+    """Pack the fullest feasible machines first (tight packing;
+    concurrent schedulers collide often)."""
+    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, False)
+
+
+def worst_fit(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+) -> list[Claim]:
+    """Fill the emptiest machines first (load spreading; concurrent
+    schedulers naturally steer apart)."""
+    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, True)
+
+
+#: Strategy registry for the lightweight simulator and its ablations.
+PLACEMENT_STRATEGIES: dict[str, Callable] = {
+    "random-first-fit": randomized_first_fit,
+    "best-fit": best_fit,
+    "worst-fit": worst_fit,
+}
+
+
+def placement_fn(strategy: str):
+    """A :data:`repro.core.scheduler.PlacementFn` for a named strategy."""
+    try:
+        fit = PLACEMENT_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement strategy {strategy!r}; "
+            f"choose from {sorted(PLACEMENT_STRATEGIES)}"
+        ) from None
+
+    def placement(snapshot, job, rng):
+        return fit(
+            snapshot.free_cpu,
+            snapshot.free_mem,
+            job.cpu_per_task,
+            job.mem_per_task,
+            job.unplaced_tasks,
+            rng,
+        )
+
+    return placement

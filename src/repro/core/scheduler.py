@@ -1,0 +1,211 @@
+"""The Omega shared-state scheduler (paper section 3.4).
+
+Each scheduler runs the loop:
+
+1. **sync** — take a private snapshot of the shared cell state when it
+   starts looking at a job;
+2. **think** — spend the modeled decision time
+   (``t_job + t_task x tasks``) planning placements on the snapshot
+   with randomized first fit;
+3. **commit** — attempt an atomic, optimistically-concurrent commit of
+   the planned claims against the live cell state;
+4. **resync/retry** — on conflict, immediately retry the job (with a
+   fresh snapshot); on insufficient capacity, requeue it behind other
+   work.
+
+Schedulers never lock anything and never wait for each other: "Omega
+schedulers operate completely in parallel and do not have to wait for
+jobs in other schedulers, and there is no inter-scheduler head of line
+blocking."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cellstate import CellSnapshot, CellState
+from repro.core.placement import randomized_first_fit
+from repro.core.transaction import Claim, CommitMode, ConflictMode, commit
+from repro.metrics import MetricsCollector
+from repro.schedulers.base import DecisionTimeModel, QueueScheduler
+from repro.sim import Simulator
+from repro.workload.job import Job, JobType
+
+#: Signature of a pluggable placement planner: (snapshot, job, rng) -> claims.
+#: The lightweight simulator uses randomized first fit; the high-fidelity
+#: simulator plugs in the constraint-aware scoring planner.
+PlacementFn = Callable[[CellSnapshot, Job, np.random.Generator], list[Claim]]
+
+
+def _first_fit_placement(
+    snapshot: CellSnapshot, job: Job, rng: np.random.Generator
+) -> list[Claim]:
+    return randomized_first_fit(
+        snapshot.free_cpu,
+        snapshot.free_mem,
+        job.cpu_per_task,
+        job.mem_per_task,
+        job.unplaced_tasks,
+        rng,
+    )
+
+
+class OmegaScheduler(QueueScheduler):
+    """One shared-state scheduler with full visibility of the cell."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        state: CellState,
+        rng: np.random.Generator,
+        decision_times: dict[JobType, DecisionTimeModel] | DecisionTimeModel,
+        conflict_mode: ConflictMode = ConflictMode.FINE,
+        commit_mode: CommitMode = CommitMode.INCREMENTAL,
+        placement: PlacementFn = _first_fit_placement,
+        attempt_limit: int = 1000,
+        retry_conflicts_at_front: bool = True,
+        ledger: "AllocationLedger | None" = None,
+        conflict_avoidance_cooldown: float = 0.0,
+    ) -> None:
+        super().__init__(
+            name,
+            sim,
+            metrics,
+            attempt_limit,
+            retry_conflicts_at_front=retry_conflicts_at_front,
+        )
+        self.state = state
+        #: Optional allocation ledger. When set, this scheduler's
+        #: running tasks are registered (and therefore visible to — and
+        #: preemptible by — higher-precedence schedulers), and evicted
+        #: tasks automatically re-enter this scheduler's queue.
+        self.ledger = ledger
+        self._rng = rng
+        if isinstance(decision_times, DecisionTimeModel):
+            decision_times = {job_type: decision_times for job_type in JobType}
+        missing = [t for t in JobType if t not in decision_times]
+        if missing:
+            raise ValueError(f"decision_times missing job types: {missing}")
+        self._decision_times = dict(decision_times)
+        self.conflict_mode = conflict_mode
+        self.commit_mode = commit_mode
+        self._placement = placement
+        self._snapshot: CellSnapshot | None = None
+        #: Hot-machine avoidance (the paper's section 8 future-work
+        #: direction: "techniques from the database community ... to
+        #: reduce the likelihood and effects of interference"). Like
+        #: hot-key backoff in OCC stores, machines whose claims recently
+        #: conflicted are skipped for ``conflict_avoidance_cooldown``
+        #: seconds, steering contending schedulers apart. 0 disables it.
+        if conflict_avoidance_cooldown < 0:
+            raise ValueError(
+                f"cooldown must be >= 0, got {conflict_avoidance_cooldown}"
+            )
+        self.conflict_avoidance_cooldown = conflict_avoidance_cooldown
+        self._hot_machines: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def decision_time(self, job: Job) -> float:
+        return self._decision_times[job.job_type].duration(job.unplaced_tasks)
+
+    def begin_attempt(self, job: Job) -> None:
+        """Sync: refresh the private copy of cell state."""
+        self._snapshot = self.state.snapshot(self.sim.now)
+
+    def _mask_hot_machines(self, snapshot: CellSnapshot) -> None:
+        """Blank out recently-conflicted machines in the private copy.
+
+        The snapshot is this attempt's scratch space, so zeroing the
+        hot machines' free resources simply removes them from the
+        placement candidate set; expired entries are dropped.
+        """
+        if not self._hot_machines:
+            return
+        now = self.sim.now
+        expired = [m for m, expiry in self._hot_machines.items() if expiry <= now]
+        for machine in expired:
+            del self._hot_machines[machine]
+        for machine in self._hot_machines:
+            snapshot.free_cpu[machine] = 0.0
+            snapshot.free_mem[machine] = 0.0
+
+    def _note_conflicts(self, rejected) -> None:
+        if self.conflict_avoidance_cooldown <= 0:
+            return
+        expiry = self.sim.now + self.conflict_avoidance_cooldown
+        for claim in rejected:
+            self._hot_machines[claim.machine] = expiry
+
+    def attempt(self, job: Job) -> None:
+        snapshot = self._snapshot
+        self._snapshot = None
+        if snapshot is None:  # pragma: no cover - loop always snapshots first
+            raise RuntimeError("attempt() without begin_attempt()")
+
+        if self.conflict_avoidance_cooldown > 0:
+            self._mask_hot_machines(snapshot)
+        claims = self._placement(snapshot, job, self._rng)
+
+        if self.commit_mode is CommitMode.ALL_OR_NOTHING:
+            planned = sum(claim.count for claim in claims)
+            if planned < job.unplaced_tasks:
+                # Gang scheduling needs room for every task; the private
+                # copy showed too little, so no transaction is issued.
+                # No hoarding: the resources stay usable by others.
+                self._resolve_attempt(job, had_conflict=False)
+                return
+
+        if not claims:
+            # "Assuming at least one task got scheduled, a transaction
+            # ... is issued" — nothing could be planned, so no commit.
+            self._resolve_attempt(job, had_conflict=False)
+            return
+
+        result = commit(
+            self.state,
+            claims,
+            snapshot,
+            conflict_mode=self.conflict_mode,
+            commit_mode=self.commit_mode,
+        )
+        self.metrics.record_commit(self.name, result.conflicted, self.sim.now)
+        if result.conflicted:
+            self._note_conflicts(result.rejected)
+        job.unplaced_tasks -= result.accepted_tasks
+        self._start_tasks(self.state, job, result.accepted)
+        self._resolve_attempt(job, had_conflict=result.conflicted)
+
+    # ------------------------------------------------------------------
+    # Ledger integration (registration + preemption victims)
+    # ------------------------------------------------------------------
+    def _start_tasks(self, state: CellState, job: Job, claims) -> None:
+        if self.ledger is None:
+            super()._start_tasks(state, job, claims)
+            return
+        # Commit already claimed the resources; the ledger only takes
+        # over lifetime bookkeeping (end events, preemption victims).
+        for claim in claims:
+            self.ledger.register(
+                claim,
+                precedence=job.precedence,
+                duration=job.duration,
+                on_preempt=lambda record, count, job=job: self._on_preempted(
+                    job, count
+                ),
+                already_claimed=True,
+                owner=self.name,
+            )
+
+    def _on_preempted(self, job: Job, count: int) -> None:
+        """A higher-precedence scheduler evicted ``count`` of our tasks."""
+        self.metrics.record_preemption_victim(self.name, count)
+        was_complete = job.is_fully_scheduled
+        job.unplaced_tasks += count
+        if was_complete and not job.abandoned:
+            # The job was done scheduling; put it back in our queue so
+            # the evicted tasks get re-placed.
+            self._requeue(job, at_front=False)

@@ -1,0 +1,106 @@
+"""An Omega scheduler that uses its precedence to preempt.
+
+Paper section 3.4: a scheduler "has complete freedom to lay claim to
+any available cluster resources ... even ones that another scheduler
+has already acquired", and "a gang-scheduled job can preempt
+lower-priority tasks once sufficient resources are available".
+
+The :class:`PreemptingOmegaScheduler` plans placements over free *plus
+reclaimable* (lower-precedence) resources, then commits with eviction.
+All other behaviour — decision-time model, serial queue, retries,
+metrics — is inherited from :class:`~repro.core.scheduler.OmegaScheduler`,
+which is the point: preemption is just one more policy a specialized
+scheduler can implement over shared state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cellstate import CellState
+from repro.core.placement import randomized_first_fit
+from repro.core.preemption import AllocationLedger, commit_with_preemption
+from repro.core.scheduler import OmegaScheduler
+from repro.core.transaction import CommitMode, ConflictMode
+from repro.metrics import MetricsCollector
+from repro.schedulers.base import DecisionTimeModel
+from repro.sim import Simulator
+from repro.workload.job import Job, JobType
+
+
+class PreemptingOmegaScheduler(OmegaScheduler):
+    """Omega scheduler that may evict lower-precedence tasks."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        state: CellState,
+        rng: np.random.Generator,
+        decision_times: dict[JobType, DecisionTimeModel] | DecisionTimeModel,
+        ledger: AllocationLedger,
+        commit_mode: CommitMode = CommitMode.INCREMENTAL,
+        attempt_limit: int = 1000,
+        retry_conflicts_at_front: bool = True,
+    ) -> None:
+        super().__init__(
+            name,
+            sim,
+            metrics,
+            state,
+            rng,
+            decision_times,
+            conflict_mode=ConflictMode.FINE,
+            commit_mode=commit_mode,
+            attempt_limit=attempt_limit,
+            retry_conflicts_at_front=retry_conflicts_at_front,
+            ledger=ledger,
+        )
+
+    def _plan_view(self, job: Job) -> tuple[np.ndarray, np.ndarray]:
+        """Snapshot free resources plus what this job could reclaim."""
+        assert self._snapshot is not None
+        plan_cpu = self._snapshot.free_cpu.copy()
+        plan_mem = self._snapshot.free_mem.copy()
+        for machine, records in self.ledger._by_machine.items():
+            for record in records.values():
+                if record.precedence < job.precedence:
+                    plan_cpu[machine] += record.total_cpu
+                    plan_mem[machine] += record.total_mem
+        return plan_cpu, plan_mem
+
+    def attempt(self, job: Job) -> None:
+        snapshot = self._snapshot
+        if snapshot is None:  # pragma: no cover - loop always snapshots first
+            raise RuntimeError("attempt() without begin_attempt()")
+        plan_cpu, plan_mem = self._plan_view(job)
+        self._snapshot = None
+        claims = randomized_first_fit(
+            plan_cpu,
+            plan_mem,
+            job.cpu_per_task,
+            job.mem_per_task,
+            job.unplaced_tasks,
+            self._rng,
+        )
+        gang = self.commit_mode is CommitMode.ALL_OR_NOTHING
+        if gang and sum(claim.count for claim in claims) < job.unplaced_tasks:
+            # Gang scheduling: the plan must cover every task; no
+            # hoarding while waiting ("allow other schedulers' jobs to
+            # use the resources in the meantime").
+            self._resolve_attempt(job, had_conflict=False)
+            return
+        if not claims:
+            self._resolve_attempt(job, had_conflict=False)
+            return
+        accepted, rejected, preempted = commit_with_preemption(
+            self.state, self.ledger, claims, job.precedence, all_or_nothing=gang
+        )
+        conflicted = bool(rejected)
+        self.metrics.record_commit(self.name, conflicted, self.sim.now)
+        if preempted:
+            self.metrics.record_preemption_caused(self.name, preempted)
+        job.unplaced_tasks -= sum(claim.count for claim in accepted)
+        self._start_tasks(self.state, job, accepted)
+        self._resolve_attempt(job, had_conflict=conflicted)

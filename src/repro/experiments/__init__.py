@@ -1,0 +1,20 @@
+"""Experiment drivers: one module per table/figure of the paper's
+evaluation (see DESIGN.md's per-experiment index).
+
+Every driver produces plain result rows (lists of dicts) so that the
+benchmark harness, the CLI and the tests all consume the same code.
+"""
+
+from repro.experiments.common import (
+    LightweightConfig,
+    LightweightResult,
+    LightweightSimulation,
+    run_lightweight,
+)
+
+__all__ = [
+    "LightweightConfig",
+    "LightweightResult",
+    "LightweightSimulation",
+    "run_lightweight",
+]

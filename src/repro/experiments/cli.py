@@ -1,0 +1,304 @@
+"""``omega-sim``: command-line front end for the experiment drivers.
+
+Examples::
+
+    omega-sim fig8 --scale 0.25 --hours 3
+    omega-sim fig15 --hours 6
+    omega-sim table1
+
+Every command prints the same rows the corresponding benchmark emits;
+``--scale`` shrinks the cell (and arrival rates with it), ``--hours``
+sets the simulated horizon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
+from repro.experiments import mapreduce as mapreduce_experiments
+from repro.experiments import omega as omega_experiments
+from repro.experiments import sweep3d, tables, workload_char
+from repro.experiments.common import format_table
+from repro.experiments.io import save_rows
+from repro.metrics.ascii_chart import line_chart
+
+
+def _scaled_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "horizon": args.hours * 3600.0,
+        "seed": args.seed,
+        "scale": args.scale,
+    }
+
+
+def _cmd_fig2(args) -> list[dict]:
+    return workload_char.figure2_rows(samples=args.samples, seed=args.seed)
+
+
+def _cmd_fig3(args) -> list[dict]:
+    return workload_char.figure3_rows(samples=args.samples, seed=args.seed)
+
+
+def _cmd_fig4(args) -> list[dict]:
+    return workload_char.figure4_rows(samples=args.samples, seed=args.seed)
+
+
+def _cmd_fig5a(args) -> list[dict]:
+    return monolithic.figure5a_6a_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig5b(args) -> list[dict]:
+    return monolithic.figure5b_6b_rows(**_scaled_kwargs(args))
+
+
+def _cmd_partitioned(args) -> list[dict]:
+    return monolithic.partitioned_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig7(args) -> list[dict]:
+    return mesos.figure7_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig5c(args) -> list[dict]:
+    return omega_experiments.figure5c_6c_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig8(args) -> list[dict]:
+    rows = omega_experiments.figure8_rows(**_scaled_kwargs(args))
+    points = omega_experiments.figure8_saturation_points(rows)
+    print(f"saturation points (relative lambda_batch): {points}", file=sys.stderr)
+    return rows
+
+
+def _cmd_fig9(args) -> list[dict]:
+    return omega_experiments.figure9_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig10(args) -> list[dict]:
+    return sweep3d.figure10_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig11(args) -> list[dict]:
+    return hifi_perf.figure11_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig12(args) -> list[dict]:
+    return hifi_perf.figure12_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig13(args) -> list[dict]:
+    rows = hifi_perf.figure13_rows(**_scaled_kwargs(args))
+    shift = hifi_perf.figure13_saturation_shift(rows)
+    print(f"saturation shift: {shift}", file=sys.stderr)
+    return rows
+
+
+def _cmd_fig14(args) -> list[dict]:
+    return conflict_modes.figure14_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig15(args) -> list[dict]:
+    return mapreduce_experiments.figure15_rows(**_scaled_kwargs(args))
+
+
+def _cmd_fig16(args) -> list[dict]:
+    return mapreduce_experiments.figure16_rows(
+        cluster="C", **_scaled_kwargs(args)
+    )
+
+
+def _cmd_ablation_offer(args) -> list[dict]:
+    return ablations.offer_policy_rows(horizon=args.hours * 3600.0, seed=args.seed)
+
+
+def _cmd_ablation_retry(args) -> list[dict]:
+    return ablations.retry_position_rows(
+        scale=args.scale, horizon=args.hours * 3600.0
+    )
+
+
+def _cmd_ablation_util(args) -> list[dict]:
+    return ablations.initial_utilization_rows(
+        scale=args.scale, horizon=args.hours * 3600.0
+    )
+
+
+def _cmd_ablation_preemption(args) -> list[dict]:
+    return ablations.preemption_rows(
+        scale=args.scale, horizon=args.hours * 3600.0, seed=args.seed
+    )
+
+
+def _cmd_ablation_backoff(args) -> list[dict]:
+    return ablations.backoff_rows(scale=args.scale, horizon=args.hours * 3600.0)
+
+
+def _cmd_ablation_placement(args) -> list[dict]:
+    return ablations.placement_strategy_rows(
+        scale=args.scale, horizon=args.hours * 3600.0
+    )
+
+
+def _cmd_validate(args) -> list[dict]:
+    from repro.workload.validation import validate_all
+
+    return [report.as_row() for report in validate_all()]
+
+
+def _cmd_table1(args) -> list[dict]:
+    return tables.table1_rows()
+
+
+def _cmd_table2(args) -> list[dict]:
+    return tables.table2_rows()
+
+
+COMMANDS: dict[str, tuple[Callable, str]] = {
+    "fig2": (_cmd_fig2, "workload shares: jobs/tasks/CPU/RAM, batch vs service"),
+    "fig3": (_cmd_fig3, "CDFs of job runtime and inter-arrival time"),
+    "fig4": (_cmd_fig4, "CDF of tasks per job"),
+    "fig5a": (_cmd_fig5a, "monolithic single-path: wait time & busyness sweep"),
+    "fig5b": (_cmd_fig5b, "monolithic multi-path: wait time & busyness sweep"),
+    "fig5c": (_cmd_fig5c, "shared-state Omega: wait time & busyness sweep"),
+    "partitioned": (_cmd_partitioned, "statically partitioned scheduler sweep"),
+    "fig7": (_cmd_fig7, "two-level (Mesos): wait, busyness, abandoned jobs"),
+    "fig8": (_cmd_fig8, "Omega: scaling the batch arrival rate"),
+    "fig9": (_cmd_fig9, "Omega: 1-32 load-balanced batch schedulers"),
+    "fig10": (_cmd_fig10, "busyness surfaces for all five schemes"),
+    "fig11": (_cmd_fig11, "hifi: service busyness over t_job x t_task (C)"),
+    "fig12": (_cmd_fig12, "hifi: cluster B sweep w/ conflict fraction"),
+    "fig13": (_cmd_fig13, "hifi: 3 batch schedulers vs 1 (cluster C)"),
+    "fig14": (_cmd_fig14, "conflict detection/commit granularity choices"),
+    "fig15": (_cmd_fig15, "MapReduce speedup CDFs per policy"),
+    "fig16": (_cmd_fig16, "utilization time series, normal vs max-parallel"),
+    "table1": (_cmd_table1, "comparison of scheduling approaches"),
+    "table2": (_cmd_table2, "lightweight vs high-fidelity simulator"),
+    "ablation-offer": (_cmd_ablation_offer, "Mesos offer-all vs fair-share offers"),
+    "ablation-retry": (_cmd_ablation_retry, "conflict retry at queue head vs tail"),
+    "ablation-util": (_cmd_ablation_util, "conflict fraction vs standing utilization"),
+    "ablation-preemption": (_cmd_ablation_preemption, "priority preemption on vs off"),
+    "ablation-backoff": (_cmd_ablation_backoff, "OCC hot-machine backoff windows"),
+    "ablation-placement": (
+        _cmd_ablation_placement,
+        "placement strategy vs conflict fraction",
+    ),
+    "validate": (_cmd_validate, "sanity-check the cluster presets"),
+}
+
+
+#: Commands that can render an ASCII chart with --plot:
+#: command -> (series-key column, x column, y column, log_x, log_y, title).
+PLOTS = {
+    "fig5a": ("cluster", "t_job_service", "wait_batch", True, True,
+              "Figure 5a: mean batch wait vs t_job (single-path)"),
+    "fig5b": ("cluster", "t_job_service", "wait_batch", True, True,
+              "Figure 5b: mean batch wait vs t_job(service) (multi-path)"),
+    "fig5c": ("cluster", "t_job_service", "wait_batch", True, True,
+              "Figure 5c: mean batch wait vs t_job(service) (shared state)"),
+    "fig7": ("cluster", "t_job_service", "busy_batch", True, False,
+             "Figure 7b: batch framework busyness vs t_job(service) (Mesos)"),
+    "fig8": ("cluster", "rate_factor", "busy_batch", False, False,
+             "Figure 8b: batch busyness vs relative lambda(batch)"),
+    "fig9": ("num_batch_schedulers", "rate_factor", "conflict_batch", False, False,
+             "Figure 9a: conflict fraction vs relative lambda(batch)"),
+    "fig12": (None, "t_job_service", "conflict_service", True, False,
+              "Figure 12b: service conflict fraction vs t_job(service)"),
+    "fig14": ("mode", "t_job_service", "conflict_service", True, True,
+              "Figure 14a: conflict fraction by detection/commit mode"),
+    "ablation-util": (None, "initial_utilization", "conflict_batch", False, False,
+                      "Conflict fraction vs standing utilization"),
+    "ablation-backoff": (None, "cooldown_s", "conflict_batch", False, False,
+                         "Conflict fraction vs hot-machine backoff window"),
+}
+
+
+def render_plot(command: str, rows: list[dict]) -> str | None:
+    """Build the --plot chart for a command from its result rows."""
+    spec = PLOTS.get(command)
+    if spec is None or not rows:
+        return None
+    key_column, x_column, y_column, log_x, log_y, title = spec
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        label = str(row[key_column]) if key_column else y_column
+        series.setdefault(label, []).append((row[x_column], row[y_column]))
+    try:
+        return line_chart(
+            series, title=title, x_label=x_column, y_label=y_column,
+            log_x=log_x, log_y=log_y,
+        )
+    except ValueError:
+        return None  # e.g. every y was 0 on a log axis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="omega-sim",
+        description="Regenerate the tables and figures of the Omega paper "
+        "(EuroSys 2013) from the reproduction simulators.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--scale",
+            type=float,
+            default=0.25,
+            help="cell scale factor (1.0 = paper-size presets)",
+        )
+        sub.add_argument(
+            "--hours", type=float, default=2.0, help="simulated horizon in hours"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="master RNG seed")
+        sub.add_argument(
+            "--samples",
+            type=int,
+            default=50_000,
+            help="Monte Carlo samples (characterization figures only)",
+        )
+        sub.add_argument(
+            "--plot",
+            action="store_true",
+            help="also render an ASCII chart of the headline series "
+            "(supported commands only)",
+        )
+        sub.add_argument(
+            "--output",
+            metavar="FILE",
+            help="also save the rows to FILE (.json or .csv)",
+        )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command, _ = COMMANDS[args.command]
+    rows = command(args)
+    print(format_table(rows))
+    if getattr(args, "output", None):
+        saved = save_rows(
+            rows,
+            args.output,
+            experiment=args.command,
+            parameters={
+                "scale": args.scale,
+                "hours": args.hours,
+                "seed": args.seed,
+            },
+        )
+        print(f"rows saved to {saved}", file=sys.stderr)
+    if getattr(args, "plot", False):
+        chart = render_plot(args.command, rows)
+        if chart is None:
+            print(f"(no chart available for {args.command})", file=sys.stderr)
+        else:
+            print()
+            print(chart)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,427 @@
+"""The lightweight simulator harness (paper section 4).
+
+Assembles a cell, its standing task population, workload generators and
+one of the five scheduler architectures, runs the discrete-event
+simulation, and exposes the paper's metrics. The same seed produces a
+byte-identical workload for every architecture, which is what makes the
+section 4 comparisons apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.cellstate import CellState
+from repro.core.fill import populate
+from repro.core.multi import SchedulerPool
+from repro.core.placement import placement_fn
+from repro.core.preemption import AllocationLedger
+from repro.core.scheduler import OmegaScheduler
+from repro.core.scheduler_preempting import PreemptingOmegaScheduler
+from repro.core.transaction import CommitMode, ConflictMode
+from repro.metrics import MetricsCollector
+from repro.metrics.results import RunSummary
+from repro.schedulers.base import DecisionTimeModel
+from repro.schedulers.mesos import MesosAllocator, MesosFramework
+from repro.schedulers.monolithic import MonolithicScheduler
+from repro.schedulers.partitioned import StaticPartition
+from repro.sim import RandomStreams, Simulator
+from repro.workload.clusters import ClusterPreset
+from repro.workload.generator import InitialFill, WorkloadGenerator
+from repro.workload.job import Job, JobType, reset_job_ids
+
+DAY = 86400.0
+
+#: The five architectures of Figure 10, left to right.
+ARCHITECTURES = (
+    "monolithic-single",
+    "monolithic-multi",
+    "partitioned",
+    "mesos",
+    "omega",
+)
+
+
+@dataclass
+class LightweightConfig:
+    """Everything that parameterizes one lightweight-simulator run."""
+
+    preset: ClusterPreset
+    architecture: str = "omega"
+    horizon: float = DAY
+    seed: int = 0
+    batch_model: DecisionTimeModel = field(default_factory=DecisionTimeModel)
+    service_model: DecisionTimeModel = field(default_factory=DecisionTimeModel)
+    batch_rate_factor: float = 1.0  # Figure 8/9's relative lambda(batch)
+    service_rate_factor: float = 1.0
+    num_batch_schedulers: int = 1  # Figure 9: 1..32
+    conflict_mode: ConflictMode = ConflictMode.FINE
+    commit_mode: CommitMode = CommitMode.INCREMENTAL
+    attempt_limit: int = 1000
+    metrics_period: float | None = None
+    initial_utilization: float | None = None
+    batch_partition_share: float = 0.5
+    mesos_offer_policy: str = "all"
+    utilization_sample_interval: float | None = None
+    retry_conflicts_at_front: bool = True
+    #: Omega only: run the service scheduler as a
+    #: :class:`~repro.core.scheduler_preempting.PreemptingOmegaScheduler`
+    #: and register all allocations in a shared ledger so service jobs
+    #: can evict batch tasks (Table 1: "priority preemption").
+    enable_preemption: bool = False
+    #: Omega only: hot-machine backoff window in seconds (section 8
+    #: future work; 0 disables).
+    conflict_avoidance_cooldown: float = 0.0
+    #: Omega only: placement strategy ("random-first-fit" — the paper's
+    #: lightweight algorithm — "best-fit", or "worst-fit"); see
+    #: :data:`repro.core.placement.PLACEMENT_STRATEGIES`.
+    placement_strategy: str = "random-first-fit"
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; "
+                f"choose from {ARCHITECTURES}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        if self.num_batch_schedulers < 1:
+            raise ValueError("need at least one batch scheduler")
+
+    @property
+    def period(self) -> float:
+        """Aggregation period for 'daily' statistics: real days for long
+        runs, quarters of the horizon for scaled-down ones."""
+        if self.metrics_period is not None:
+            return self.metrics_period
+        return min(DAY, self.horizon / 4.0)
+
+
+@dataclass
+class LightweightResult(RunSummary):
+    """Metrics of one lightweight run, with the paper's derived
+    quantities (see :class:`repro.metrics.results.RunSummary`)."""
+
+    config: LightweightConfig | None = None
+
+
+class LightweightSimulation:
+    """Builds and runs one configured lightweight simulation.
+
+    Split from :func:`run_lightweight` so extensions (the MapReduce
+    case-study scheduler of section 6) can compose with a built
+    simulation before running it.
+    """
+
+    def __init__(self, config: LightweightConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.metrics = MetricsCollector(period=config.period)
+        self.cell = config.preset.cell()
+        self.states: list[CellState] = []
+        self.submit: Callable[[Job], None] | None = None
+        self.batch_scheduler_names: list[str] = []
+        self.service_scheduler_names: list[str] = []
+        self.utilization_series: list[tuple[float, float, float]] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> "LightweightSimulation":
+        if self._built:
+            raise RuntimeError("simulation already built")
+        self._built = True
+        reset_job_ids()
+        builder = getattr(self, f"_build_{self.config.architecture.replace('-', '_')}")
+        builder()
+        self._fill_initial_state()
+        self._start_workload()
+        if self.config.utilization_sample_interval:
+            self.sim.every(
+                self.config.utilization_sample_interval,
+                self._sample_utilization,
+                until=self.config.horizon,
+            )
+        return self
+
+    def _build_monolithic_single(self) -> None:
+        state = CellState(self.cell)
+        self.states.append(state)
+        # Single code path: the (swept) service model applies to all jobs.
+        scheduler = MonolithicScheduler.single_path(
+            self.sim,
+            self.metrics,
+            state,
+            self.streams.stream("placement.monolithic"),
+            self.config.service_model,
+            attempt_limit=self.config.attempt_limit,
+        )
+        self.submit = scheduler.submit
+        self.batch_scheduler_names = [scheduler.name]
+        self.service_scheduler_names = [scheduler.name]
+
+    def _build_monolithic_multi(self) -> None:
+        state = CellState(self.cell)
+        self.states.append(state)
+        scheduler = MonolithicScheduler.multi_path(
+            self.sim,
+            self.metrics,
+            state,
+            self.streams.stream("placement.monolithic"),
+            batch_model=self.config.batch_model,
+            service_model=self.config.service_model,
+            attempt_limit=self.config.attempt_limit,
+        )
+        self.submit = scheduler.submit
+        self.batch_scheduler_names = [scheduler.name]
+        self.service_scheduler_names = [scheduler.name]
+
+    def _build_partitioned(self) -> None:
+        partition = StaticPartition(
+            self.sim,
+            self.metrics,
+            self.cell,
+            self.streams.stream("placement.partition-batch"),
+            self.streams.stream("placement.partition-service"),
+            batch_model=self.config.batch_model,
+            service_model=self.config.service_model,
+            batch_share=self.config.batch_partition_share,
+            attempt_limit=self.config.attempt_limit,
+        )
+        self.states.extend(partition.states)
+        self.submit = partition.submit
+        self.batch_scheduler_names = [partition.batch_scheduler.name]
+        self.service_scheduler_names = [partition.service_scheduler.name]
+
+    def _build_mesos(self) -> None:
+        state = CellState(self.cell)
+        self.states.append(state)
+        allocator = MesosAllocator(
+            self.sim, state, offer_policy=self.config.mesos_offer_policy
+        )
+        batch = MesosFramework(
+            "mesos-batch",
+            self.sim,
+            self.metrics,
+            allocator,
+            self.streams.stream("placement.mesos-batch"),
+            self.config.batch_model,
+            attempt_limit=self.config.attempt_limit,
+        )
+        service = MesosFramework(
+            "mesos-service",
+            self.sim,
+            self.metrics,
+            allocator,
+            self.streams.stream("placement.mesos-service"),
+            self.config.service_model,
+            attempt_limit=self.config.attempt_limit,
+        )
+        self.allocator = allocator
+
+        def submit(job: Job) -> None:
+            target = batch if job.job_type is JobType.BATCH else service
+            target.submit(job)
+
+        self.submit = submit
+        self.batch_scheduler_names = [batch.name]
+        self.service_scheduler_names = [service.name]
+
+    def _build_omega(self) -> None:
+        state = CellState(self.cell)
+        self.states.append(state)
+        config = self.config
+        ledger = None
+        if config.enable_preemption:
+            ledger = AllocationLedger(state, self.sim)
+            self.ledger = ledger
+        placement = placement_fn(config.placement_strategy)
+        batch_schedulers = [
+            OmegaScheduler(
+                f"omega-batch-{i}" if config.num_batch_schedulers > 1 else "omega-batch",
+                self.sim,
+                self.metrics,
+                state,
+                self.streams.stream(f"placement.omega-batch-{i}"),
+                config.batch_model,
+                conflict_mode=config.conflict_mode,
+                commit_mode=config.commit_mode,
+                attempt_limit=config.attempt_limit,
+                retry_conflicts_at_front=config.retry_conflicts_at_front,
+                ledger=ledger,
+                conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
+                placement=placement,
+            )
+            for i in range(config.num_batch_schedulers)
+        ]
+        pool = SchedulerPool(batch_schedulers)
+        if config.enable_preemption:
+            service = PreemptingOmegaScheduler(
+                "omega-service",
+                self.sim,
+                self.metrics,
+                state,
+                self.streams.stream("placement.omega-service"),
+                config.service_model,
+                ledger=ledger,
+                attempt_limit=config.attempt_limit,
+                retry_conflicts_at_front=config.retry_conflicts_at_front,
+            )
+        else:
+            service = OmegaScheduler(
+                "omega-service",
+                self.sim,
+                self.metrics,
+                state,
+                self.streams.stream("placement.omega-service"),
+                config.service_model,
+                conflict_mode=config.conflict_mode,
+                commit_mode=config.commit_mode,
+                attempt_limit=config.attempt_limit,
+                retry_conflicts_at_front=config.retry_conflicts_at_front,
+                conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
+                placement=placement,
+            )
+        self.omega_pool = pool
+        self.omega_service = service
+
+        def submit(job: Job) -> None:
+            if job.job_type is JobType.BATCH:
+                pool.submit(job)
+            else:
+                service.submit(job)
+
+        self.submit = submit
+        self.batch_scheduler_names = pool.names
+        self.service_scheduler_names = [service.name]
+
+    # ------------------------------------------------------------------
+    def _fill_initial_state(self) -> None:
+        fill = InitialFill(self.config.preset, self.config.initial_utilization)
+        rng = self.streams.stream("initial-fill")
+        tasks = fill.generate(rng)
+        if len(self.states) == 1:
+            populate(self.states[0], tasks, rng, self.sim, self.config.horizon)
+            return
+        # Partitioned cells: split the standing population proportionally
+        # to partition capacity.
+        total_cpu = sum(state.cell.total_cpu for state in self.states)
+        start = 0
+        for state in self.states:
+            share = state.cell.total_cpu / total_cpu
+            count = round(len(tasks) * share)
+            chunk = tasks[start : start + count]
+            start += count
+            populate(state, chunk, rng, self.sim, self.config.horizon)
+
+    def _start_workload(self) -> None:
+        assert self.submit is not None
+        config = self.config
+        self.generators = {
+            JobType.BATCH: WorkloadGenerator(
+                self.sim,
+                config.preset.batch,
+                JobType.BATCH,
+                self.streams.stream("workload.batch"),
+                self.submit,
+                config.horizon,
+                rate_factor=config.batch_rate_factor,
+            ),
+            JobType.SERVICE: WorkloadGenerator(
+                self.sim,
+                config.preset.service,
+                JobType.SERVICE,
+                self.streams.stream("workload.service"),
+                self.submit,
+                config.horizon,
+                rate_factor=config.service_rate_factor,
+            ),
+        }
+        for generator in self.generators.values():
+            generator.start()
+
+    # ------------------------------------------------------------------
+    def cpu_utilization(self) -> float:
+        used = sum(state.used_cpu for state in self.states)
+        total = sum(state.cell.total_cpu for state in self.states)
+        return used / total
+
+    def mem_utilization(self) -> float:
+        used = sum(state.used_mem for state in self.states)
+        total = sum(state.cell.total_mem for state in self.states)
+        return used / total
+
+    def _sample_utilization(self) -> None:
+        self.utilization_series.append(
+            (self.sim.now, self.cpu_utilization(), self.mem_utilization())
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> LightweightResult:
+        if not self._built:
+            self.build()
+        self.sim.run(until=self.config.horizon)
+        return LightweightResult(
+            metrics=self.metrics,
+            horizon=self.config.horizon,
+            batch_scheduler_names=self.batch_scheduler_names,
+            service_scheduler_names=self.service_scheduler_names,
+            jobs_submitted=self.metrics.jobs_submitted,
+            jobs_scheduled=self.metrics.jobs_scheduled_total,
+            jobs_abandoned=self.metrics.jobs_abandoned_total,
+            final_cpu_utilization=self.cpu_utilization(),
+            utilization_series=self.utilization_series,
+            events_processed=self.sim.events_processed,
+            config=self.config,
+        )
+
+
+def run_lightweight(config: LightweightConfig) -> LightweightResult:
+    """Build and run one lightweight-simulator experiment."""
+    return LightweightSimulation(config).run()
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for the per-figure drivers
+# ----------------------------------------------------------------------
+def geometric_grid(low: float, high: float, points: int) -> list[float]:
+    """A log-spaced parameter grid (the paper's log10 sweep axes)."""
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got {low}, {high}")
+    ratio = (high / low) ** (1.0 / (points - 1))
+    return [low * ratio**i for i in range(points)]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render result rows as a fixed-width text table.
+
+    This is how every benchmark prints "the same rows/series the paper
+    reports"; floats are rendered with four significant digits.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator, *body])

@@ -1,0 +1,87 @@
+"""Saving and loading experiment result rows.
+
+Experiment drivers return plain row dicts; this module persists them as
+JSON (with a metadata envelope) or CSV so runs can be compared across
+machines, scales and code versions. The ``omega-sim`` CLI exposes this
+via ``--output``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+#: Envelope format version, bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def save_rows(
+    rows: list[dict],
+    path: str | Path,
+    experiment: str = "",
+    parameters: dict[str, Any] | None = None,
+) -> Path:
+    """Write rows to ``path``; the suffix picks the format.
+
+    ``.json`` wraps the rows in an envelope carrying the experiment name
+    and parameters; ``.csv`` writes a flat table (the union of all row
+    keys, in first-seen order).
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        envelope = {
+            "format_version": FORMAT_VERSION,
+            "experiment": experiment,
+            "parameters": parameters or {},
+            "rows": rows,
+        }
+        path.write_text(json.dumps(envelope, indent=2, sort_keys=False) + "\n")
+    elif path.suffix == ".csv":
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        raise ValueError(
+            f"unsupported output format {path.suffix!r}; use .json or .csv"
+        )
+    return path
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """Read rows written by :func:`save_rows`.
+
+    JSON restores the exact values; CSV values come back as strings
+    (or floats where they parse cleanly), which is sufficient for
+    comparisons and plotting.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        envelope = json.loads(path.read_text())
+        version = envelope.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format_version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return envelope["rows"]
+    if path.suffix == ".csv":
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            rows = []
+            for record in csv.DictReader(handle):
+                parsed: dict[str, Any] = {}
+                for key, value in record.items():
+                    try:
+                        parsed[key] = float(value)
+                    except (TypeError, ValueError):
+                        parsed[key] = value
+                rows.append(parsed)
+            return rows
+    raise ValueError(f"unsupported input format {path.suffix!r}; use .json or .csv")

@@ -1,0 +1,78 @@
+"""Figures 5a/6a (monolithic single-path) and 5b/6b (multi-path).
+
+Expected shapes (paper section 4.1): in the single-path case busyness
+grows linearly with t_job and wait times blow up at saturation for
+*both* job types, since every job shares the one slow path. The
+multi-path scheduler keeps batch jobs on a fast path, so busyness and
+average wait drop sharply — but batch jobs still queue behind slow
+service decisions (head-of-line blocking), so batch wait grows with
+t_job(service) far more than under Omega.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DAY
+from repro.experiments.sweeps import (
+    DEFAULT_SWEEP_CLUSTERS,
+    sweep_service_decision_time,
+)
+
+DEFAULT_T_JOBS = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def figure5a_6a_rows(
+    t_jobs=DEFAULT_T_JOBS,
+    clusters=DEFAULT_SWEEP_CLUSTERS,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> list[dict]:
+    """Single-path monolithic: one decision time for every job."""
+    return sweep_service_decision_time(
+        "monolithic-single",
+        t_jobs,
+        clusters=clusters,
+        horizon=horizon,
+        seed=seed,
+        scale=scale,
+    )
+
+
+def figure5b_6b_rows(
+    t_jobs=DEFAULT_T_JOBS,
+    clusters=DEFAULT_SWEEP_CLUSTERS,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> list[dict]:
+    """Multi-path monolithic: fast batch path, swept service path."""
+    return sweep_service_decision_time(
+        "monolithic-multi",
+        t_jobs,
+        clusters=clusters,
+        horizon=horizon,
+        seed=seed,
+        scale=scale,
+    )
+
+
+def partitioned_rows(
+    t_jobs=DEFAULT_T_JOBS,
+    clusters=DEFAULT_SWEEP_CLUSTERS,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    batch_share: float = 0.5,
+) -> list[dict]:
+    """Extension beyond the paper's plots: the statically partitioned
+    scheduler of Table 1 measured under the same sweep, exposing the
+    fragmentation cost (higher batch waits at equal loads)."""
+    return sweep_service_decision_time(
+        "partitioned",
+        t_jobs,
+        clusters=clusters,
+        horizon=horizon,
+        seed=seed,
+        scale=scale,
+        batch_partition_share=batch_share,
+    )

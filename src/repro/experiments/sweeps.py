@@ -1,0 +1,201 @@
+"""Shared sweep machinery for the lightweight-simulator figures (5-10).
+
+Each figure is a sweep of one decision-time or arrival-rate parameter
+with everything else held fixed; this module owns the common loop and
+row format so the per-figure modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.transaction import CommitMode, ConflictMode
+from repro.experiments.common import (
+    DAY,
+    LightweightConfig,
+    LightweightResult,
+    run_lightweight,
+)
+from repro.schedulers.base import DEFAULT_T_JOB, DEFAULT_T_TASK, DecisionTimeModel
+from repro.workload.clusters import preset_by_name
+from repro.workload.job import JobType
+
+#: The paper's wait-time service level objective (30 s horizontal bar in
+#: Figure 5).
+WAIT_TIME_SLO = 30.0
+
+DEFAULT_SWEEP_CLUSTERS = ("A", "B", "C")
+
+
+def result_row(result: LightweightResult, **extra) -> dict:
+    """Flatten one run into the standard row format."""
+    row = {
+        **extra,
+        "wait_batch": result.mean_wait(JobType.BATCH),
+        "wait_service": result.mean_wait(JobType.SERVICE),
+        "busy_batch": result.busyness("batch"),
+        "busy_batch_mad": result.busyness_mad("batch"),
+        "busy_service": result.busyness("service"),
+        "busy_service_mad": result.busyness_mad("service"),
+        "conflict_batch": result.conflict_fraction("batch"),
+        "conflict_service": result.conflict_fraction("service"),
+        "abandoned": result.jobs_abandoned,
+        "unscheduled_fraction": result.unscheduled_fraction,
+        "utilization": result.final_cpu_utilization,
+    }
+    return row
+
+
+def sweep_service_decision_time(
+    architecture: str,
+    t_jobs: Sequence[float],
+    clusters: Iterable[str] = DEFAULT_SWEEP_CLUSTERS,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    t_task_service: float = DEFAULT_T_TASK,
+    conflict_mode: ConflictMode = ConflictMode.FINE,
+    commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    **config_kwargs,
+) -> list[dict]:
+    """The x-axis sweep shared by Figures 5, 6 and 7: vary
+    t_job(service) (and, for the single-path monolithic scheduler, the
+    t_job applied to *every* job) while the batch path keeps defaults."""
+    rows = []
+    for cluster in clusters:
+        preset = preset_by_name(cluster)
+        if scale != 1.0:
+            preset = preset.scaled(scale)
+        for t_job in t_jobs:
+            result = run_lightweight(
+                LightweightConfig(
+                    preset=preset,
+                    architecture=architecture,
+                    horizon=horizon,
+                    seed=seed,
+                    batch_model=DecisionTimeModel(),
+                    service_model=DecisionTimeModel(t_job=t_job, t_task=t_task_service),
+                    conflict_mode=conflict_mode,
+                    commit_mode=commit_mode,
+                    **config_kwargs,
+                )
+            )
+            rows.append(
+                result_row(result, cluster=cluster, t_job_service=t_job)
+            )
+    return rows
+
+
+def sweep_batch_load(
+    factors: Sequence[float],
+    cluster: str = "B",
+    num_batch_schedulers: int = 1,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    dilate_decision_times: bool = True,
+    **config_kwargs,
+) -> list[dict]:
+    """Figure 8/9's x-axis: scale the batch arrival rate (relative
+    lambda_jobs(batch)) on cluster B.
+
+    When the cell is scaled down, arrival rates shrink with it, which
+    would move the saturation points (busyness = rate x decision time)
+    off the paper's 1-10x sweep. ``dilate_decision_times`` compensates
+    by stretching decision times by 1/scale: busyness, saturation
+    factors, cluster fullness and per-transaction conflict exposure are
+    all invariant under this joint scaling (see DESIGN.md).
+    """
+    preset = preset_by_name(cluster)
+    dilation = 1.0
+    if scale != 1.0:
+        preset = preset.scaled(scale)
+        if dilate_decision_times:
+            dilation = 1.0 / scale
+    model = DecisionTimeModel(
+        t_job=DEFAULT_T_JOB * dilation, t_task=DEFAULT_T_TASK * dilation
+    )
+    rows = []
+    for factor in factors:
+        result = run_lightweight(
+            LightweightConfig(
+                preset=preset,
+                architecture="omega",
+                horizon=horizon,
+                seed=seed,
+                batch_model=model,
+                service_model=model,
+                batch_rate_factor=factor,
+                num_batch_schedulers=num_batch_schedulers,
+                **config_kwargs,
+            )
+        )
+        rows.append(
+            result_row(
+                result,
+                cluster=cluster,
+                rate_factor=factor,
+                num_batch_schedulers=num_batch_schedulers,
+            )
+        )
+    return rows
+
+
+def saturation_point(rows: list[dict], threshold: float = 0.05) -> float | None:
+    """The smallest swept rate factor at which the workload is no longer
+    fully scheduled (Figure 8's dashed vertical lines)."""
+    saturated = [
+        row["rate_factor"]
+        for row in rows
+        if row["unscheduled_fraction"] > threshold
+    ]
+    return min(saturated) if saturated else None
+
+
+def busyness_surface(
+    architecture: str,
+    t_jobs: Sequence[float],
+    t_tasks: Sequence[float],
+    cluster: str = "B",
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    conflict_mode: ConflictMode = ConflictMode.FINE,
+    commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    **config_kwargs,
+) -> list[dict]:
+    """Figure 10/11's surface: busyness over t_job x t_task (service).
+
+    Red shading in the paper marks configurations where part of the
+    workload remained unscheduled; rows carry ``unscheduled_fraction``
+    for the same purpose.
+    """
+    preset = preset_by_name(cluster)
+    if scale != 1.0:
+        preset = preset.scaled(scale)
+    rows = []
+    for t_job in t_jobs:
+        for t_task in t_tasks:
+            result = run_lightweight(
+                LightweightConfig(
+                    preset=preset,
+                    architecture=architecture,
+                    horizon=horizon,
+                    seed=seed,
+                    batch_model=DecisionTimeModel(),
+                    service_model=DecisionTimeModel(t_job=t_job, t_task=t_task),
+                    conflict_mode=conflict_mode,
+                    commit_mode=commit_mode,
+                    **config_kwargs,
+                )
+            )
+            rows.append(
+                result_row(
+                    result,
+                    architecture=architecture,
+                    cluster=cluster,
+                    t_job_service=t_job,
+                    t_task_service=t_task,
+                )
+            )
+    return rows

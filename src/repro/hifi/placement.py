@@ -1,0 +1,145 @@
+"""Constraint-aware scoring placement — the stand-in for the production
+scheduling algorithm ("Sched. algorithm: Google algorithm", Table 2).
+
+The real algorithm is proprietary; this one preserves the properties
+the section 5 experiments exercise (DESIGN.md, "Substitutions"):
+
+* **constraints are obeyed** — infeasible machines are filtered out, so
+  picky jobs contend for small candidate sets;
+* **placement is deterministic scoring, not randomized** — feasible
+  machines are ranked by a best-fit score, so two schedulers thinking
+  concurrently tend to pick the *same* machines. Together with
+  constraints this is why the high-fidelity simulator experiences more
+  interference than the lightweight one, exactly as the paper observes;
+* **service tasks spread across failure domains** — a per-rack cap
+  models the production scheduler's failure-tolerant placement
+  (section 2.1's chance-constrained placement problem, simplified).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster import Cell
+from repro.core.cellstate import EPSILON, CellSnapshot
+from repro.core.transaction import Claim
+from repro.hifi.constraints import AttributeIndex
+from repro.workload.job import Job, JobType
+
+#: Service jobs spread across at least this many racks when possible.
+MIN_SERVICE_RACKS = 3
+
+
+class ScoringPlacer:
+    """Best-fit scoring placement with failure-domain spreading.
+
+    Instances are bound to a cell (for capacities, racks and the
+    attribute index) and are callable with the
+    :data:`repro.core.scheduler.PlacementFn` signature, so they plug
+    directly into :class:`repro.core.scheduler.OmegaScheduler`.
+    """
+
+    def __init__(
+        self,
+        cell: Cell,
+        attribute_index: AttributeIndex | None = None,
+        headroom: float = 0.10,
+    ) -> None:
+        if not 0.0 <= headroom < 1.0:
+            raise ValueError(f"headroom must be in [0, 1), got {headroom}")
+        self.cell = cell
+        self.index = attribute_index or AttributeIndex(cell)
+        self.headroom = headroom
+        self._racks = cell.racks
+        self._num_racks = int(cell.racks.max()) + 1 if len(cell) else 0
+        self._headroom_cpu = cell.cpu_capacity * headroom
+        self._headroom_mem = cell.mem_capacity * headroom
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, snapshot: CellSnapshot, job: Job, rng: np.random.Generator
+    ) -> list[Claim]:
+        return self.place(snapshot, job, rng)
+
+    def place(
+        self, snapshot: CellSnapshot, job: Job, rng: np.random.Generator
+    ) -> list[Claim]:
+        """Plan claims for the job's unplaced tasks on the snapshot."""
+        cpu = job.cpu_per_task
+        mem = job.mem_per_task
+        feasible = self.index.feasible_mask(job.constraints)
+        fits = (
+            feasible
+            & (snapshot.free_cpu + EPSILON >= cpu)
+            & (snapshot.free_mem + EPSILON >= mem)
+        )
+        candidates = np.flatnonzero(fits)
+        if candidates.size == 0:
+            return []
+
+        # Best-fit score: prefer machines whose remaining free capacity
+        # after one task is smallest (normalized by machine capacity),
+        # i.e. pack tight, keep big machines open for big tasks. A small
+        # per-scheduler jitter reorders near-equal machines: without it,
+        # concurrent schedulers would pick byte-identical machine lists
+        # and conflict on nearly every overlapping decision, which the
+        # production algorithm's diversity (many score terms, per-job
+        # state) avoids. The jitter scale (2.5 % of the normalized
+        # score range) is small enough to preserve best-fit behaviour.
+        leftover_cpu = (snapshot.free_cpu[candidates] - cpu) / self.cell.cpu_capacity[
+            candidates
+        ]
+        leftover_mem = (snapshot.free_mem[candidates] - mem) / self.cell.mem_capacity[
+            candidates
+        ]
+        scores = leftover_cpu + leftover_mem
+        scores = scores + rng.uniform(0.0, 0.05, size=scores.shape)
+        order = candidates[np.argsort(scores, kind="stable")]
+
+        per_machine_cap, per_rack_cap = self._spreading_caps(job, order.size)
+        rack_counts: dict[int, int] = {}
+        claims: list[Claim] = []
+        remaining = job.unplaced_tasks
+        for machine in order:
+            rack = int(self._racks[machine])
+            rack_room = per_rack_cap - rack_counts.get(rack, 0)
+            if rack_room <= 0:
+                continue
+            count = min(remaining, rack_room, per_machine_cap)
+            # Leave per-machine headroom: the production scheduler does
+            # not pack machines to the brim (system overhead, usage
+            # variation), and the headroom absorbs small concurrent
+            # claims so fine-grained commits forgive most overlaps.
+            usable_cpu = snapshot.free_cpu[machine] - self._headroom_cpu[machine]
+            usable_mem = snapshot.free_mem[machine] - self._headroom_mem[machine]
+            if cpu > 0:
+                count = min(count, int((usable_cpu + EPSILON) // cpu))
+            if mem > 0:
+                count = min(count, int((usable_mem + EPSILON) // mem))
+            if count <= 0:
+                continue
+            claims.append(Claim(machine=int(machine), cpu=cpu, mem=mem, count=count))
+            rack_counts[rack] = rack_counts.get(rack, 0) + count
+            remaining -= count
+            if remaining == 0:
+                break
+        return claims
+
+    # ------------------------------------------------------------------
+    def _spreading_caps(self, job: Job, num_candidates: int) -> tuple[int, int]:
+        """Per-machine and per-rack task caps.
+
+        Service jobs must survive correlated failures, so their tasks
+        are spread over at least :data:`MIN_SERVICE_RACKS` racks and no
+        machine concentration; batch jobs just pack.
+        """
+        if job.job_type is not JobType.SERVICE:
+            return job.unplaced_tasks, job.unplaced_tasks
+        tasks = job.unplaced_tasks
+        racks_available = min(self._num_racks, max(1, num_candidates))
+        target_racks = min(max(MIN_SERVICE_RACKS, 1), racks_available)
+        per_rack = max(1, math.ceil(tasks / target_racks))
+        per_machine = max(1, math.ceil(per_rack / 2))
+        return per_machine, per_rack

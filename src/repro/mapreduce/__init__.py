@@ -1,0 +1,46 @@
+"""The flexibility case study: a specialized MapReduce scheduler
+(paper section 6).
+
+The scheduler "opportunistically us[es] idle cluster resources to speed
+up MapReduce jobs": it observes overall utilization through the shared
+cell state (something a two-level framework cannot do), predicts the
+benefit of extra workers with a simple performance model, and sizes the
+job's worker pool according to a policy:
+
+* **max-parallelism** — keep adding workers while the model predicts
+  benefit;
+* **global cap** — stop using idle resources when cluster utilization
+  exceeds a target (60 %);
+* **relative job size** — at most 4x the requested workers.
+"""
+
+from repro.mapreduce.model import (
+    MapReduceJob,
+    MapReduceProfile,
+    sample_profile,
+)
+from repro.mapreduce.policies import (
+    AllocationPolicy,
+    ClusterView,
+    GlobalCapPolicy,
+    MaxParallelismPolicy,
+    NoAccelerationPolicy,
+    RelativeJobSizePolicy,
+    decide_workers,
+)
+from repro.mapreduce.scheduler import MapReduceScheduler, MapReduceWorkload
+
+__all__ = [
+    "MapReduceProfile",
+    "MapReduceJob",
+    "sample_profile",
+    "ClusterView",
+    "AllocationPolicy",
+    "MaxParallelismPolicy",
+    "GlobalCapPolicy",
+    "RelativeJobSizePolicy",
+    "NoAccelerationPolicy",
+    "decide_workers",
+    "MapReduceScheduler",
+    "MapReduceWorkload",
+]

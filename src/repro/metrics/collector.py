@@ -1,0 +1,233 @@
+"""The metrics collector shared by all simulated scheduler architectures.
+
+Schedulers report busy intervals, commit outcomes, scheduled and
+abandoned jobs; experiments query per-day aggregates. "Our values for
+scheduler busyness and conflict fraction are medians of the daily
+values, and wait time values are overall averages" (paper section 4).
+
+For scaled-down runs the aggregation *period* is configurable (a
+two-hour run can use 30-minute "days"); the statistics keep the paper's
+structure either way.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.metrics.stats import mad, median, percentile
+from repro.workload.job import Job, JobType
+
+
+@dataclass
+class SchedulerMetrics:
+    """Raw per-scheduler counters, bucketed by aggregation period."""
+
+    busy_time: dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    #: Busy time excluding conflict-retry attempts — the "no conflicts"
+    #: approximation of Figure 12c.
+    busy_time_productive: dict[int, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    jobs_scheduled: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    conflicts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    transactions_attempted: int = 0
+    transactions_committed: int = 0
+    jobs_abandoned: int = 0
+    #: Tasks this scheduler evicted from lower-precedence jobs.
+    preemptions_caused: int = 0
+    #: This scheduler's tasks evicted by higher-precedence jobs.
+    tasks_lost_to_preemption: int = 0
+
+
+class MetricsCollector:
+    """Collects and aggregates the paper's evaluation metrics."""
+
+    def __init__(self, period: float = 86400.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.schedulers: dict[str, SchedulerMetrics] = defaultdict(SchedulerMetrics)
+        self._wait_times: dict[JobType, list[float]] = {
+            job_type: [] for job_type in JobType
+        }
+        self._per_scheduler_waits: dict[str, list[float]] = defaultdict(list)
+        self.jobs_submitted = 0
+        self.jobs_scheduled_total = 0
+        self.jobs_abandoned_total = 0
+        self.tasks_scheduled_total = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by schedulers)
+    # ------------------------------------------------------------------
+    def _bucket(self, time: float) -> int:
+        return int(time // self.period)
+
+    def _num_buckets(self, horizon: float) -> int:
+        """Number of (possibly partial) periods covering ``[0, horizon)``.
+
+        Uses a relative epsilon so a horizon that is an exact multiple of
+        the period yields exactly ``horizon / period`` buckets instead of
+        a trailing zero-length one.
+        """
+        ratio = horizon / self.period
+        nearest = round(ratio)
+        if nearest >= 1 and abs(ratio - nearest) < 1e-9 * max(1.0, ratio):
+            return int(nearest)
+        return max(1, math.ceil(ratio))
+
+    def record_submission(self, job: Job) -> None:
+        self.jobs_submitted += 1
+
+    def record_first_attempt(self, scheduler: str, job: Job) -> None:
+        """Record the job's wait time the moment its first attempt starts."""
+        wait = job.wait_time
+        if wait is None:  # pragma: no cover - callers mark first; guard anyway
+            return
+        self._wait_times[job.job_type].append(wait)
+        self._per_scheduler_waits[scheduler].append(wait)
+
+    def record_busy(
+        self, scheduler: str, start: float, end: float, conflict_retry: bool = False
+    ) -> None:
+        """Accumulate a busy interval, split across period boundaries.
+
+        ``conflict_retry`` marks rework caused by a commit conflict; it
+        counts toward busyness but not toward the productive ("no
+        conflicts") busyness approximation.
+        """
+        if end < start:
+            raise ValueError(f"busy interval ends before it starts: {start}..{end}")
+        metrics = self.schedulers[scheduler]
+        cursor = start
+        while cursor < end:
+            bucket = self._bucket(cursor)
+            bucket_end = (bucket + 1) * self.period
+            chunk_end = min(end, bucket_end)
+            metrics.busy_time[bucket] += chunk_end - cursor
+            if not conflict_retry:
+                metrics.busy_time_productive[bucket] += chunk_end - cursor
+            cursor = chunk_end
+
+    def record_commit(self, scheduler: str, conflicted: bool, time: float) -> None:
+        """Record one transaction attempt and whether it conflicted."""
+        metrics = self.schedulers[scheduler]
+        metrics.transactions_attempted += 1
+        if conflicted:
+            metrics.conflicts[self._bucket(time)] += 1
+        else:
+            metrics.transactions_committed += 1
+
+    def record_scheduled(self, scheduler: str, job: Job, time: float) -> None:
+        """Record that a job finished scheduling (all tasks placed)."""
+        metrics = self.schedulers[scheduler]
+        metrics.jobs_scheduled[self._bucket(time)] += 1
+        self.jobs_scheduled_total += 1
+        self.tasks_scheduled_total += job.num_tasks
+
+    def record_abandoned(self, scheduler: str, job: Job) -> None:
+        self.schedulers[scheduler].jobs_abandoned += 1
+        self.jobs_abandoned_total += 1
+
+    def record_preemption_caused(self, preemptor: str, tasks: int) -> None:
+        """``preemptor`` evicted ``tasks`` lower-precedence tasks."""
+        if tasks < 0:
+            raise ValueError(f"tasks must be >= 0, got {tasks}")
+        self.schedulers[preemptor].preemptions_caused += tasks
+
+    def record_preemption_victim(self, victim: str, tasks: int) -> None:
+        """``victim`` lost ``tasks`` running tasks to preemption."""
+        if tasks < 0:
+            raise ValueError(f"tasks must be >= 0, got {tasks}")
+        self.schedulers[victim].tasks_lost_to_preemption += tasks
+
+    # ------------------------------------------------------------------
+    # Queries (called by experiments)
+    # ------------------------------------------------------------------
+    def busyness_series(self, scheduler: str, horizon: float) -> list[float]:
+        """Per-period busyness (busy fraction); the final partial period
+        is normalized by its elapsed length."""
+        metrics = self.schedulers[scheduler]
+        if horizon <= 0:
+            return []
+        series = []
+        for bucket in range(self._num_buckets(horizon)):
+            length = min(self.period, horizon - bucket * self.period)
+            series.append(metrics.busy_time.get(bucket, 0.0) / length)
+        return series
+
+    def median_busyness(self, scheduler: str, horizon: float) -> float:
+        return median(self.busyness_series(scheduler, horizon))
+
+    def productive_busyness_series(self, scheduler: str, horizon: float) -> list[float]:
+        """Per-period busyness excluding conflict-retry rework."""
+        metrics = self.schedulers[scheduler]
+        if horizon <= 0:
+            return []
+        series = []
+        for bucket in range(self._num_buckets(horizon)):
+            length = min(self.period, horizon - bucket * self.period)
+            series.append(metrics.busy_time_productive.get(bucket, 0.0) / length)
+        return series
+
+    def median_productive_busyness(self, scheduler: str, horizon: float) -> float:
+        return median(self.productive_busyness_series(scheduler, horizon))
+
+    def mad_busyness(self, scheduler: str, horizon: float) -> float:
+        return mad(self.busyness_series(scheduler, horizon))
+
+    def conflict_fraction_series(self, scheduler: str, horizon: float) -> list[float]:
+        """Per-period conflicts per successfully scheduled job."""
+        metrics = self.schedulers[scheduler]
+        if horizon <= 0:
+            return []
+        series = []
+        for bucket in range(self._num_buckets(horizon)):
+            scheduled = metrics.jobs_scheduled.get(bucket, 0)
+            conflicts = metrics.conflicts.get(bucket, 0)
+            if scheduled > 0:
+                series.append(conflicts / scheduled)
+            elif conflicts == 0:
+                series.append(0.0)
+            # Periods with conflicts but no completions are skipped:
+            # there is no defined per-job ratio for them.
+        return series
+
+    def median_conflict_fraction(self, scheduler: str, horizon: float) -> float:
+        return median(self.conflict_fraction_series(scheduler, horizon))
+
+    def overall_conflict_fraction(self, scheduler: str) -> float:
+        """Total conflicts per successfully scheduled job over the run."""
+        metrics = self.schedulers[scheduler]
+        scheduled = sum(metrics.jobs_scheduled.values())
+        if scheduled == 0:
+            return float("nan")
+        return sum(metrics.conflicts.values()) / scheduled
+
+    def wait_times(self, job_type: JobType) -> list[float]:
+        return list(self._wait_times[job_type])
+
+    def mean_wait_time(self, job_type: JobType) -> float:
+        waits = self._wait_times[job_type]
+        if not waits:
+            return float("nan")
+        return sum(waits) / len(waits)
+
+    def p90_wait_time(self, job_type: JobType) -> float:
+        return percentile(self._wait_times[job_type], 90.0)
+
+    def scheduler_wait_times(self, scheduler: str) -> list[float]:
+        return list(self._per_scheduler_waits[scheduler])
+
+    def mean_scheduler_wait_time(self, scheduler: str) -> float:
+        waits = self._per_scheduler_waits[scheduler]
+        if not waits:
+            return float("nan")
+        return sum(waits) / len(waits)
+
+    def abandoned(self, scheduler: str) -> int:
+        return self.schedulers[scheduler].jobs_abandoned
+
+    def scheduler_names(self) -> list[str]:
+        return sorted(self.schedulers)

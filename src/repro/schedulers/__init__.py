@@ -1,0 +1,29 @@
+"""Comparison scheduler architectures from the paper's taxonomy
+(section 3, Table 1):
+
+* monolithic single-path and multi-path (:mod:`repro.schedulers.monolithic`),
+* statically partitioned (:mod:`repro.schedulers.partitioned`),
+* two-level offer-based, modeled on Mesos (:mod:`repro.schedulers.mesos`).
+
+The shared-state (Omega) architecture lives in :mod:`repro.core`.
+"""
+
+from repro.schedulers.base import (
+    DEFAULT_ATTEMPT_LIMIT,
+    DEFAULT_T_JOB,
+    DEFAULT_T_TASK,
+    DecisionTimeModel,
+    QueueScheduler,
+)
+from repro.schedulers.monolithic import MonolithicScheduler
+from repro.schedulers.partitioned import StaticPartition
+
+__all__ = [
+    "DecisionTimeModel",
+    "QueueScheduler",
+    "MonolithicScheduler",
+    "StaticPartition",
+    "DEFAULT_T_JOB",
+    "DEFAULT_T_TASK",
+    "DEFAULT_ATTEMPT_LIMIT",
+]

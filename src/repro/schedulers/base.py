@@ -1,0 +1,173 @@
+"""Shared machinery for simulated schedulers.
+
+Every architecture in the paper models a scheduler as a *serial server*:
+"Our schedulers process one request at a time, so a busy scheduler will
+cause enqueued jobs to be delayed" (section 4). :class:`QueueScheduler`
+implements that serial service loop — dequeue a job, mark its first
+attempt (that instant defines the job's wait time), stay busy for the
+modeled decision time, then run the architecture-specific placement
+attempt — plus the retry/abandon bookkeeping shared by all
+architectures (the 1,000-attempt abandonment limit of section 4).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.cellstate import CellState
+from repro.core.transaction import Claim
+from repro.metrics import MetricsCollector
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+#: The paper's measured per-job decision overhead (section 4: "t_job = 0.1 s").
+DEFAULT_T_JOB = 0.1
+#: The paper's measured per-task decision cost ("t_task = 5 ms").
+DEFAULT_T_TASK = 0.005
+#: "we limit any single job to 1,000 scheduling attempts" (section 4).
+DEFAULT_ATTEMPT_LIMIT = 1000
+
+
+@dataclass(frozen=True)
+class DecisionTimeModel:
+    """The paper's linear decision-time model:
+    ``t_decision = t_job + t_task * tasks_per_job``."""
+
+    t_job: float = DEFAULT_T_JOB
+    t_task: float = DEFAULT_T_TASK
+
+    def __post_init__(self) -> None:
+        if self.t_job < 0 or self.t_task < 0:
+            raise ValueError("decision time components must be non-negative")
+
+    def duration(self, num_tasks: int) -> float:
+        return self.t_job + self.t_task * num_tasks
+
+
+class QueueScheduler(abc.ABC):
+    """A serial scheduling server with a FIFO queue.
+
+    Subclasses implement :meth:`decision_time` (how long thinking about
+    a job takes) and :meth:`attempt` (what happens when thinking
+    finishes: place, commit, then call :meth:`_resolve_attempt`).
+    :meth:`begin_attempt` runs when thinking *starts* — Omega schedulers
+    take their cell-state snapshot there, because the paper's schedulers
+    "refresh their local copy of cell state ... when they start looking
+    at a job".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        attempt_limit: int = DEFAULT_ATTEMPT_LIMIT,
+        retry_conflicts_at_front: bool = True,
+    ) -> None:
+        if attempt_limit < 1:
+            raise ValueError(f"attempt_limit must be >= 1, got {attempt_limit}")
+        self.name = name
+        self.sim = sim
+        self.metrics = metrics
+        self.attempt_limit = attempt_limit
+        self.retry_conflicts_at_front = retry_conflicts_at_front
+        self._queue: deque[Job] = deque()
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    # Submission and the serial service loop
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def submit(self, job: Job) -> None:
+        """Enqueue a newly arrived job."""
+        self.metrics.record_submission(job)
+        self._queue.append(job)
+        self._maybe_start()
+
+    def _requeue(self, job: Job, at_front: bool) -> None:
+        if at_front:
+            self._queue.appendleft(job)
+        else:
+            self._queue.append(job)
+        self._maybe_start()
+
+    def _maybe_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        job = self._queue.popleft()
+        if job.first_attempt_time is None:
+            job.mark_first_attempt(self.sim.now)
+            self.metrics.record_first_attempt(self.name, job)
+        conflict_retry = job.requeued_for_conflict
+        job.requeued_for_conflict = False
+        self._busy = True
+        think_time = self.decision_time(job)
+        self.begin_attempt(job)
+        self.sim.after(
+            think_time, self._think_complete, job, self.sim.now, conflict_retry
+        )
+
+    def _think_complete(self, job: Job, busy_start: float, conflict_retry: bool) -> None:
+        self.metrics.record_busy(
+            self.name, busy_start, self.sim.now, conflict_retry=conflict_retry
+        )
+        self._busy = False
+        self.attempt(job)
+        self._maybe_start()
+
+    # ------------------------------------------------------------------
+    # Architecture hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def decision_time(self, job: Job) -> float:
+        """How long this scheduler thinks about ``job`` (seconds)."""
+
+    def begin_attempt(self, job: Job) -> None:
+        """Hook at the start of thinking (Omega snapshots here)."""
+
+    @abc.abstractmethod
+    def attempt(self, job: Job) -> None:
+        """Placement attempt at the end of thinking. Implementations
+        place/commit, then call :meth:`_resolve_attempt` exactly once."""
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _resolve_attempt(self, job: Job, had_conflict: bool) -> None:
+        """Advance the job's lifecycle after one attempt.
+
+        Retry policy: a *conflicted* job retries immediately at the head
+        of the queue ("the scheduler resyncs its local copy of cell
+        state ... and tries again"); a job that simply found no room
+        goes to the back so other jobs are not blocked behind it.
+        """
+        job.attempts += 1
+        if had_conflict:
+            job.conflicts += 1
+        if job.is_fully_scheduled:
+            if job.fully_scheduled_time is None:
+                # Count each job once, even if preemption later sends it
+                # back through scheduling.
+                self.metrics.record_scheduled(self.name, job, self.sim.now)
+            job.fully_scheduled_time = self.sim.now
+        elif job.attempts >= self.attempt_limit:
+            job.abandoned = True
+            self.metrics.record_abandoned(self.name, job)
+        else:
+            job.requeued_for_conflict = had_conflict
+            self._requeue(job, at_front=had_conflict and self.retry_conflicts_at_front)
+
+    def _start_tasks(self, state: CellState, job: Job, claims: tuple[Claim, ...] | list[Claim]) -> None:
+        """Schedule the resource release for tasks that just started."""
+        end_time = self.sim.now + job.duration
+        for claim in claims:
+            self.sim.at(end_time, state.release, claim.machine, claim.cpu, claim.mem, claim.count)

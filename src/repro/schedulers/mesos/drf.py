@@ -1,0 +1,47 @@
+"""Dominant Resource Fairness (Ghodsi et al., NSDI 2011).
+
+Mesos's central allocator "attempts to achieve dominant resource
+fairness (DRF) by choosing the order and the sizes of its offers"
+(paper section 3.3). With the simple allocator modeled here, only the
+*order* is DRF-driven: the next offer goes to the framework furthest
+below its dominant share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, TypeVar
+
+FrameworkT = TypeVar("FrameworkT")
+
+
+def dominant_share(
+    allocated_cpu: float,
+    allocated_mem: float,
+    total_cpu: float,
+    total_mem: float,
+) -> float:
+    """A framework's dominant share: its largest per-resource fraction."""
+    if total_cpu <= 0 or total_mem <= 0:
+        raise ValueError("cluster totals must be positive")
+    return max(allocated_cpu / total_cpu, allocated_mem / total_mem)
+
+
+def pick_next_framework(
+    candidates: Sequence[FrameworkT],
+    shares: Mapping[FrameworkT, float],
+) -> FrameworkT:
+    """The candidate with the smallest dominant share (ties: first listed).
+
+    "they may be re-offered again if the framework is the one furthest
+    below its fair share" (paper section 4.2).
+    """
+    if not candidates:
+        raise ValueError("no candidate frameworks")
+    best = candidates[0]
+    best_share = shares.get(best, 0.0)
+    for framework in candidates[1:]:
+        share = shares.get(framework, 0.0)
+        if share < best_share:
+            best = framework
+            best_share = share
+    return best

@@ -1,0 +1,98 @@
+"""A Mesos framework scheduler (one per workload type in section 4.2).
+
+The framework only sees the resources it has been offered — "it does not
+have access to a view of the overall cluster state — just the resources
+it has been offered" — and holds the offer for its whole decision time.
+Placement within the offer is incremental; tasks that do not fit retry
+on a later offer, and a job is abandoned after 1,000 attempts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import randomized_first_fit
+from repro.metrics import MetricsCollector
+from repro.schedulers.base import DecisionTimeModel, QueueScheduler
+from repro.schedulers.mesos.allocator import MesosAllocator, Offer
+from repro.sim import Simulator
+from repro.workload.job import Job
+
+
+class MesosFramework(QueueScheduler):
+    """An offer-driven scheduler framework."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        allocator: MesosAllocator,
+        rng: np.random.Generator,
+        model: DecisionTimeModel,
+        attempt_limit: int = 1000,
+    ) -> None:
+        super().__init__(name, sim, metrics, attempt_limit)
+        self.allocator = allocator
+        self._rng = rng
+        self._model = model
+        allocator.register(self)
+
+    # ------------------------------------------------------------------
+    # Offer-driven service loop (replaces the queue-driven one)
+    # ------------------------------------------------------------------
+    def wants_offers(self) -> bool:
+        """Whether the allocator should send this framework an offer."""
+        return bool(self._queue) and not self._busy
+
+    def _maybe_start(self) -> None:
+        # Frameworks cannot start thinking on their own: they wait for
+        # an offer. Signal the allocator instead.
+        if self.wants_offers():
+            self.allocator.request_offers(self)
+
+    def receive_offer(self, offer: Offer) -> None:
+        """Hold the offer for one job's full decision time, then place."""
+        if self._busy:  # pragma: no cover - allocator checks wants_offers()
+            raise RuntimeError(f"framework {self.name} offered while busy")
+        if not self._queue:
+            self.allocator.return_offer(offer)
+            return
+        job = self._queue.popleft()
+        if job.first_attempt_time is None:
+            job.mark_first_attempt(self.sim.now)
+            self.metrics.record_first_attempt(self.name, job)
+        self._busy = True
+        think_time = self.decision_time(job)
+        self.sim.after(think_time, self._offer_complete, job, offer, self.sim.now)
+
+    def _offer_complete(self, job: Job, offer: Offer, busy_start: float) -> None:
+        self.metrics.record_busy(self.name, busy_start, self.sim.now)
+        self._busy = False
+        claims = randomized_first_fit(
+            offer.free_cpu,
+            offer.free_mem,
+            job.cpu_per_task,
+            job.mem_per_task,
+            job.unplaced_tasks,
+            self._rng,
+        )
+        if claims:
+            self.allocator.launch(self, claims, job.duration)
+            job.unplaced_tasks -= sum(claim.count for claim in claims)
+        # "Resources not used at the end of scheduling a job are
+        # returned to the allocator."
+        self.allocator.return_offer(offer)
+        # Jobs whose remaining tasks found no room wait for a future
+        # offer at the back of the queue; pessimistic concurrency means
+        # there are never conflicts to retry at the front.
+        self._resolve_attempt(job, had_conflict=False)
+
+    # ------------------------------------------------------------------
+    # QueueScheduler hooks
+    # ------------------------------------------------------------------
+    def decision_time(self, job: Job) -> float:
+        return self._model.duration(job.unplaced_tasks)
+
+    def attempt(self, job: Job) -> None:  # pragma: no cover - offer-driven
+        raise RuntimeError("MesosFramework schedules via offers, not attempt()")

@@ -1,0 +1,117 @@
+"""Monolithic schedulers (paper sections 3.1 and 4.1).
+
+One scheduler instance processes *every* job serially against the
+authoritative cell state — there is no concurrency, hence no conflicts,
+but a slow decision blocks everything behind it (head-of-line blocking).
+
+* **single-path**: the same decision time for batch and service jobs,
+  "to reflect the need to run much of the same code for every job type".
+* **multi-path**: a fast code path for batch jobs and a slow one for
+  service jobs — "it still schedules only one job at a time".
+
+Both variants are this one class; the difference is whether the per-type
+decision-time models are equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cellstate import CellState
+from repro.core.placement import randomized_first_fit
+from repro.metrics import MetricsCollector
+from repro.schedulers.base import DecisionTimeModel, QueueScheduler
+from repro.sim import Simulator
+from repro.workload.job import Job, JobType
+
+
+class MonolithicScheduler(QueueScheduler):
+    """The paper's baseline: a single serial scheduler over the whole cell."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        state: CellState,
+        rng: np.random.Generator,
+        decision_times: dict[JobType, DecisionTimeModel],
+        attempt_limit: int = 1000,
+    ) -> None:
+        super().__init__(name, sim, metrics, attempt_limit)
+        missing = [t for t in JobType if t not in decision_times]
+        if missing:
+            raise ValueError(f"decision_times missing job types: {missing}")
+        self.state = state
+        self._rng = rng
+        self._decision_times = dict(decision_times)
+
+    @classmethod
+    def single_path(
+        cls,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        state: CellState,
+        rng: np.random.Generator,
+        model: DecisionTimeModel,
+        name: str = "monolithic",
+        attempt_limit: int = 1000,
+    ) -> "MonolithicScheduler":
+        """One decision-time model for all job types (Figure 5a/6a)."""
+        return cls(
+            name,
+            sim,
+            metrics,
+            state,
+            rng,
+            {job_type: model for job_type in JobType},
+            attempt_limit=attempt_limit,
+        )
+
+    @classmethod
+    def multi_path(
+        cls,
+        sim: Simulator,
+        metrics: MetricsCollector,
+        state: CellState,
+        rng: np.random.Generator,
+        batch_model: DecisionTimeModel,
+        service_model: DecisionTimeModel,
+        name: str = "monolithic-multipath",
+        attempt_limit: int = 1000,
+    ) -> "MonolithicScheduler":
+        """A fast path for batch, a slow path for service (Figure 5b/6b)."""
+        return cls(
+            name,
+            sim,
+            metrics,
+            state,
+            rng,
+            {JobType.BATCH: batch_model, JobType.SERVICE: service_model},
+            attempt_limit=attempt_limit,
+        )
+
+    # ------------------------------------------------------------------
+    def decision_time(self, job: Job) -> float:
+        return self._decision_times[job.job_type].duration(job.unplaced_tasks)
+
+    def attempt(self, job: Job) -> None:
+        """Place directly against the authoritative state.
+
+        The monolithic scheduler is the only writer, so every planned
+        claim fits by construction and there are never conflicts.
+        """
+        claims = randomized_first_fit(
+            self.state.free_cpu,
+            self.state.free_mem,
+            job.cpu_per_task,
+            job.mem_per_task,
+            job.unplaced_tasks,
+            self._rng,
+        )
+        for claim in claims:
+            self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+        placed = sum(claim.count for claim in claims)
+        job.unplaced_tasks -= placed
+        self._start_tasks(self.state, job, claims)
+        self._resolve_attempt(job, had_conflict=False)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate.
+
+Both of the paper's simulators (the lightweight synthetic-workload one of
+section 4 and the high-fidelity trace replayer of section 5) run on this
+engine: a single-threaded, deterministic discrete-event loop.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.random import RandomStreams, derive_seed
+
+__all__ = ["Simulator", "Event", "EventQueue", "RandomStreams", "derive_seed"]

@@ -1,0 +1,89 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by ``(time, sequence)``: two events scheduled for the
+same instant fire in the order they were scheduled, which makes simulation
+runs fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are handles: they are returned by :meth:`EventQueue.push`
+    and can be passed to :meth:`EventQueue.cancel`. A cancelled event is
+    skipped when its time comes (lazy deletion keeps the heap cheap).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} seq={self.seq} fn={name}{state}>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at ``time`` and return a cancellable handle."""
+        if time != time:  # NaN guard: NaN times would corrupt heap ordering
+            raise ValueError("event time must not be NaN")
+        event = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event. Cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Return the time of the next live event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,49 @@
+"""Seeded, named random-number streams.
+
+Each simulated component (workload generator, each scheduler's placement
+algorithm, the trace synthesizer, ...) draws from its own independent
+stream derived from a single master seed. This keeps experiments
+reproducible and — importantly for A/B comparisons like Figure 14's
+conflict-detection modes — makes the workload identical across runs that
+only change scheduler configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 63-bit child seed from a master seed and a name.
+
+    Uses SHA-256 so that the mapping is stable across Python processes
+    and versions (unlike ``hash()``, which is salted).
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class RandomStreams:
+    """A factory of named, independent :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the same generator
+        object, so a component's draws form one continuous stream.
+        """
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = np.random.default_rng(derive_seed(self.master_seed, name))
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Return a new :class:`RandomStreams` keyed under a sub-namespace."""
+        return RandomStreams(derive_seed(self.master_seed, f"fork:{name}"))

@@ -1,0 +1,57 @@
+"""Workload model: jobs, tasks, empirical distributions, cluster presets.
+
+The paper drives its lightweight simulator with synthetic jobs sampled
+from empirical distributions measured on three Google production cells
+(clusters A, B and C, May 2011). The production traces are proprietary,
+so `repro.workload.clusters` defines parameterized presets whose
+distributions match the published shapes (Figures 2-4); see DESIGN.md
+section "Substitutions".
+"""
+
+from repro.workload.distributions import (
+    Constant,
+    DiscretizedLogNormal,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Sampler,
+    Uniform,
+    WeightedChoice,
+)
+from repro.workload.clusters import (
+    CLUSTER_A,
+    CLUSTER_B,
+    CLUSTER_C,
+    CLUSTER_D,
+    PRESETS,
+    CharacterizationParams,
+    ClusterPreset,
+    WorkloadParams,
+    preset_by_name,
+)
+from repro.workload.generator import InitialFill, WorkloadGenerator
+from repro.workload.job import Job, JobType
+
+__all__ = [
+    "Job",
+    "JobType",
+    "Sampler",
+    "Constant",
+    "Exponential",
+    "LogNormal",
+    "DiscretizedLogNormal",
+    "Uniform",
+    "WeightedChoice",
+    "Mixture",
+    "WorkloadParams",
+    "CharacterizationParams",
+    "ClusterPreset",
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "CLUSTER_C",
+    "CLUSTER_D",
+    "PRESETS",
+    "preset_by_name",
+    "WorkloadGenerator",
+    "InitialFill",
+]

@@ -1,0 +1,160 @@
+"""Synthetic workload generation: Poisson job arrivals and initial fill.
+
+Matches the lightweight-simulator setup of paper section 4: job
+inter-arrival times, tasks per job, task durations and per-task resources
+are sampled from per-cluster empirical distributions; at simulation start
+the cell is pre-filled to roughly 60 % utilization "using task-size data
+extracted from the relevant trace".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sim import Simulator
+from repro.workload.clusters import SIM_DURATION_CAP, ClusterPreset, WorkloadParams
+from repro.workload.distributions import LogNormal
+from repro.workload.job import DEFAULT_PRECEDENCE, Job, JobType
+
+
+class WorkloadGenerator:
+    """Poisson arrival process for one job type.
+
+    Calls ``submit(job)`` for each synthesized job until ``horizon``.
+    The generator owns its RNG stream, so two simulator configurations
+    built from the same seed receive byte-identical workloads — the
+    property that makes the paper's A/B architecture comparisons fair
+    ("compare the behaviour of all three architectures under the same
+    conditions and with identical workloads").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: WorkloadParams,
+        job_type: JobType,
+        rng: np.random.Generator,
+        submit: Callable[[Job], None],
+        horizon: float,
+        rate_factor: float = 1.0,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if rate_factor <= 0:
+            raise ValueError(f"rate_factor must be positive, got {rate_factor}")
+        self._sim = sim
+        self._params = params
+        self._job_type = job_type
+        self._rng = rng
+        self._submit = submit
+        self._horizon = horizon
+        self._rate = params.arrival_rate * rate_factor
+        self.jobs_generated = 0
+
+    def start(self) -> None:
+        """Begin generating arrivals (first gap drawn from the process)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._rng.exponential(1.0 / self._rate)
+        arrival_time = self._sim.now + gap
+        if arrival_time <= self._horizon:
+            self._sim.at(arrival_time, self._arrive)
+
+    def _arrive(self) -> None:
+        job = self.make_job(self._sim.now)
+        self.jobs_generated += 1
+        self._submit(job)
+        self._schedule_next()
+
+    def make_job(self, submit_time: float) -> Job:
+        """Sample one job from the per-type distributions."""
+        params = self._params
+        rng = self._rng
+        return Job(
+            job_type=self._job_type,
+            submit_time=submit_time,
+            num_tasks=int(params.tasks_per_job.sample(rng)),
+            cpu_per_task=params.cpu_per_task.sample(rng),
+            mem_per_task=params.mem_per_task.sample(rng),
+            duration=params.task_duration.sample(rng),
+            precedence=DEFAULT_PRECEDENCE[self._job_type],
+        )
+
+
+@dataclass(frozen=True)
+class StandingTask:
+    """A pre-existing task occupying resources at simulation start."""
+
+    cpu: float
+    mem: float
+    duration: float  # remaining lifetime from t=0
+    job_type: JobType
+
+
+class InitialFill:
+    """Generates the standing task population that fills the cell to the
+    target utilization at t=0.
+
+    Composition follows the paper's workload mix: the majority of
+    *standing resources* belong to long-running service tasks, the rest
+    to batch tasks that churn (section 2.1: 55-80 % of resources are
+    allocated to service jobs). Batch residual lifetimes are fresh draws
+    from the batch duration distribution; standing *service* tasks are
+    long-lived by definition (they are the survivors — service jobs run
+    for weeks), so their residuals come from a days-scale distribution
+    rather than the arrival-time one. This keeps simulated utilization
+    near the 60 % target instead of decaying within hours.
+    """
+
+    SERVICE_CPU_SHARE = 0.7
+
+    #: Residual lifetime of standing service tasks (days, capped at the
+    #: simulation duration cap).
+    SERVICE_RESIDUAL = LogNormal(
+        median=2 * 86400.0, sigma=1.0, low=6 * 3600.0, high=SIM_DURATION_CAP
+    )
+
+    def __init__(self, preset: ClusterPreset, target_utilization: float | None = None):
+        self._preset = preset
+        self.target_utilization = (
+            preset.initial_utilization
+            if target_utilization is None
+            else target_utilization
+        )
+        if not 0.0 <= self.target_utilization < 1.0:
+            raise ValueError(
+                f"target utilization must be in [0, 1), got {self.target_utilization}"
+            )
+
+    def generate(self, rng: np.random.Generator) -> list[StandingTask]:
+        """Sample standing tasks until the CPU target is reached."""
+        target_cpu = self._preset.total_cpu * self.target_utilization
+        tasks: list[StandingTask] = []
+        filled = 0.0
+        service_budget = target_cpu * self.SERVICE_CPU_SHARE
+        service_filled = 0.0
+        while filled < target_cpu:
+            if service_filled < service_budget:
+                params, job_type = self._preset.service, JobType.SERVICE
+            else:
+                params, job_type = self._preset.batch, JobType.BATCH
+            cpu = params.cpu_per_task.sample(rng)
+            if job_type is JobType.SERVICE:
+                duration = self.SERVICE_RESIDUAL.sample(rng)
+            else:
+                duration = params.task_duration.sample(rng)
+            task = StandingTask(
+                cpu=cpu,
+                mem=params.mem_per_task.sample(rng),
+                duration=duration,
+                job_type=job_type,
+            )
+            tasks.append(task)
+            filled += cpu
+            if job_type is JobType.SERVICE:
+                service_filled += cpu
+        return tasks

@@ -1,0 +1,117 @@
+"""Sanity validation of cluster presets.
+
+The presets substitute for proprietary traces, so their internal
+consistency matters: batch must dominate job counts, offered load must
+fit the cell, and the scheduler-level dynamics (saturation factors)
+must stay in the regime the paper's figures explore. This module turns
+those checks — which the test suite also enforces — into a user-facing
+report, exposed as ``omega-sim validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schedulers.base import DEFAULT_T_JOB, DEFAULT_T_TASK
+from repro.workload.clusters import PRESETS, ClusterPreset
+
+
+@dataclass
+class PresetReport:
+    """Derived sanity quantities for one cluster preset."""
+
+    name: str
+    num_machines: int
+    total_cpu: float
+    batch_job_fraction: float
+    batch_offered_cpu_share: float
+    batch_busyness_estimate: float
+    saturation_factor_estimate: float
+    service_busyness_at_100s: float
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.warnings
+
+    def as_row(self) -> dict:
+        return {
+            "cluster": self.name,
+            "machines": self.num_machines,
+            "batch_job_frac": self.batch_job_fraction,
+            "batch_load_share": self.batch_offered_cpu_share,
+            "batch_busyness_1x": self.batch_busyness_estimate,
+            "saturation_est": self.saturation_factor_estimate,
+            "svc_busy@t_job=100s": self.service_busyness_at_100s,
+            "warnings": "; ".join(self.warnings) or "-",
+        }
+
+
+def validate_preset(
+    preset: ClusterPreset,
+    t_job: float = DEFAULT_T_JOB,
+    t_task: float = DEFAULT_T_TASK,
+) -> PresetReport:
+    """Compute the report and attach warnings for out-of-regime values."""
+    warnings: list[str] = []
+
+    total_rate = preset.batch.arrival_rate + preset.service.arrival_rate
+    batch_job_fraction = preset.batch.arrival_rate / total_rate
+    if batch_job_fraction <= 0.8:
+        warnings.append(
+            f"batch is only {batch_job_fraction:.0%} of jobs (paper: >80%)"
+        )
+
+    headroom = preset.total_cpu * (1.0 - preset.initial_utilization)
+    offered = preset.batch.mean_offered_cpu()
+    batch_share = offered / preset.total_cpu
+    if offered >= headroom:
+        warnings.append(
+            f"steady batch demand ({offered:.0f} cores) exceeds headroom "
+            f"({headroom:.0f} cores) above the initial fill"
+        )
+
+    busyness = preset.batch.arrival_rate * preset.batch.mean_decision_time(
+        t_job, t_task
+    )
+    saturation = float("inf") if busyness == 0 else 1.0 / busyness
+    if busyness >= 1.0:
+        warnings.append(
+            f"batch scheduler saturated at 1x load (busyness {busyness:.2f})"
+        )
+    elif saturation > 50:
+        warnings.append(
+            f"batch scheduler nearly idle (saturation at {saturation:.0f}x; "
+            "load-scaling sweeps will be flat)"
+        )
+
+    service_busy_100 = preset.service.arrival_rate * preset.service.mean_decision_time(
+        100.0, t_task
+    )
+    if service_busy_100 > 2.0:
+        warnings.append(
+            "service scheduler oversaturated at t_job=100s "
+            f"(busyness {service_busy_100:.1f}); decision-time sweeps will "
+            "clip early"
+        )
+
+    return PresetReport(
+        name=preset.name,
+        num_machines=preset.num_machines,
+        total_cpu=preset.total_cpu,
+        batch_job_fraction=batch_job_fraction,
+        batch_offered_cpu_share=batch_share,
+        batch_busyness_estimate=busyness,
+        saturation_factor_estimate=saturation,
+        service_busyness_at_100s=service_busy_100,
+        warnings=warnings,
+    )
+
+
+def validate_all(
+    presets: dict[str, ClusterPreset] | None = None,
+) -> list[PresetReport]:
+    """Validate every registered preset (or a supplied mapping)."""
+    if presets is None:
+        presets = PRESETS
+    return [validate_preset(preset) for preset in presets.values()]

@@ -1,0 +1,97 @@
+"""Tests for the Cell inventory."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell, Machine
+
+
+class TestHomogeneousBuilder:
+    def test_capacities(self):
+        cell = Cell.homogeneous(5, cpu_per_machine=4.0, mem_per_machine=16.0)
+        assert cell.num_machines == 5
+        assert cell.total_cpu == 20.0
+        assert cell.total_mem == 80.0
+        assert (cell.cpu_capacity == 4.0).all()
+
+    def test_rack_assignment(self):
+        cell = Cell.homogeneous(100, 4.0, 16.0, machines_per_rack=40)
+        assert cell[0].rack == 0
+        assert cell[39].rack == 0
+        assert cell[40].rack == 1
+        assert cell[99].rack == 2
+
+    def test_capacity_arrays_read_only(self):
+        cell = Cell.homogeneous(3, 4.0, 16.0)
+        with pytest.raises(ValueError):
+            cell.cpu_capacity[0] = 99.0
+
+    @pytest.mark.parametrize("machines", [0, -5])
+    def test_rejects_nonpositive_machine_count(self, machines):
+        with pytest.raises(ValueError):
+            Cell.homogeneous(machines, 4.0, 16.0)
+
+    def test_rejects_nonpositive_rack_size(self):
+        with pytest.raises(ValueError, match="machines_per_rack"):
+            Cell.homogeneous(5, 4.0, 16.0, machines_per_rack=0)
+
+
+class TestHeterogeneousBuilder:
+    def test_platform_mix(self):
+        cell = Cell.heterogeneous(
+            [
+                (3, 4.0, 16.0, {"tier": "standard"}),
+                (2, 8.0, 32.0, {"tier": "highmem"}),
+            ]
+        )
+        assert cell.num_machines == 5
+        assert cell.total_cpu == 3 * 4.0 + 2 * 8.0
+        assert cell[0].attributes["tier"] == "standard"
+        assert cell[4].attributes["tier"] == "highmem"
+
+    def test_rejects_empty_platform(self):
+        with pytest.raises(ValueError, match="positive"):
+            Cell.heterogeneous([(0, 4.0, 16.0, {})])
+
+
+class TestCellInvariants:
+    def test_indices_must_match_positions(self):
+        machines = [Machine(index=1, cpu=4.0, mem=16.0)]
+        with pytest.raises(ValueError, match="indices must match"):
+            Cell(machines)
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            Cell([])
+
+    def test_iteration_and_indexing(self):
+        cell = Cell.homogeneous(4, 4.0, 16.0)
+        assert len(list(cell)) == 4
+        assert cell[2].index == 2
+        assert len(cell) == 4
+
+
+class TestSubcell:
+    def test_subcell_reindexes(self):
+        cell = Cell.homogeneous(10, 4.0, 16.0)
+        sub = cell.subcell(range(5, 10))
+        assert sub.num_machines == 5
+        assert [m.index for m in sub] == [0, 1, 2, 3, 4]
+
+    def test_subcell_preserves_capacity_and_attrs(self):
+        cell = Cell.heterogeneous(
+            [(2, 4.0, 16.0, {"a": "1"}), (2, 8.0, 32.0, {"a": "2"})]
+        )
+        sub = cell.subcell([2, 3])
+        assert sub.total_cpu == 16.0
+        assert all(m.attributes["a"] == "2" for m in sub)
+
+    def test_subcell_racks_preserved(self):
+        cell = Cell.homogeneous(80, 4.0, 16.0, machines_per_rack=40)
+        sub = cell.subcell(range(40, 80))
+        assert {m.rack for m in sub} == {1}
+
+    def test_capacity_arrays_match_machines(self):
+        cell = Cell.homogeneous(6, 4.0, 16.0)
+        assert np.allclose(cell.cpu_capacity, [m.cpu for m in cell])
+        assert np.allclose(cell.mem_capacity, [m.mem for m in cell])

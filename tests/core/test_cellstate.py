@@ -1,0 +1,174 @@
+"""Tests for the shared cell state: accounting invariants, snapshots,
+sequence numbers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState, OvercommitError
+
+
+@pytest.fixture
+def cell():
+    return Cell.homogeneous(4, cpu_per_machine=4.0, mem_per_machine=16.0)
+
+
+@pytest.fixture
+def state(cell):
+    return CellState(cell)
+
+
+class TestClaimRelease:
+    def test_claim_reduces_free(self, state):
+        state.claim(0, cpu=1.0, mem=2.0, count=2)
+        assert state.free_cpu[0] == 2.0
+        assert state.free_mem[0] == 12.0
+        assert state.used_cpu == 2.0
+        assert state.used_mem == 4.0
+
+    def test_release_restores_free(self, state):
+        state.claim(1, 1.0, 2.0, count=3)
+        state.release(1, 1.0, 2.0, count=3)
+        assert state.free_cpu[1] == 4.0
+        assert state.used_cpu == 0.0
+
+    def test_claim_overcommit_raises(self, state):
+        with pytest.raises(OvercommitError):
+            state.claim(0, cpu=5.0, mem=1.0)
+
+    def test_claim_overcommit_mem_raises(self, state):
+        with pytest.raises(OvercommitError):
+            state.claim(0, cpu=1.0, mem=17.0)
+
+    def test_release_beyond_capacity_raises(self, state):
+        with pytest.raises(OvercommitError):
+            state.release(0, cpu=1.0, mem=1.0)
+
+    def test_exact_fit_allowed(self, state):
+        state.claim(0, cpu=4.0, mem=16.0)
+        assert state.free_cpu[0] == 0.0
+        with pytest.raises(OvercommitError):
+            state.claim(0, cpu=0.1, mem=0.1)
+
+    def test_float_dust_tolerated(self, state):
+        """Claims summing to capacity within epsilon must succeed."""
+        for _ in range(40):
+            state.claim(0, cpu=0.1, mem=0.4)
+        assert state.free_cpu[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_count_validation(self, state):
+        with pytest.raises(ValueError):
+            state.claim(0, 1.0, 1.0, count=0)
+        with pytest.raises(ValueError):
+            state.release(0, 1.0, 1.0, count=-1)
+
+
+class TestSequenceNumbers:
+    def test_seq_bumps_on_claim_and_release(self, state):
+        assert state.seq[0] == 0
+        state.claim(0, 1.0, 1.0)
+        assert state.seq[0] == 1
+        state.release(0, 1.0, 1.0)
+        assert state.seq[0] == 2
+
+    def test_seq_untouched_machines_stable(self, state):
+        state.claim(0, 1.0, 1.0)
+        assert (state.seq[1:] == 0).all()
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent_copy(self, state):
+        snapshot = state.snapshot(time=5.0)
+        state.claim(0, 2.0, 4.0)
+        assert snapshot.free_cpu[0] == 4.0
+        assert snapshot.seq[0] == 0
+        assert snapshot.time == 5.0
+
+    def test_mutating_snapshot_does_not_touch_master(self, state):
+        snapshot = state.snapshot()
+        snapshot.free_cpu[0] = 0.0
+        assert state.free_cpu[0] == 4.0
+
+    def test_snapshot_shape(self, state):
+        assert state.snapshot().num_machines == state.num_machines
+
+
+class TestUtilization:
+    def test_utilization_fractions(self, state):
+        state.claim(0, 4.0, 16.0)
+        assert state.cpu_utilization == pytest.approx(0.25)
+        assert state.mem_utilization == pytest.approx(0.25)
+        assert state.idle_cpu == pytest.approx(12.0)
+        assert state.idle_mem == pytest.approx(48.0)
+
+    def test_fits(self, state):
+        assert state.fits(0, 4.0, 16.0)
+        assert not state.fits(0, 4.1, 1.0)
+        state.claim(0, 2.0, 2.0)
+        assert state.fits(0, 2.0, 14.0)
+        assert not state.fits(0, 2.0, 14.1)
+        assert state.fits(0, 1.0, 7.0, count=2)
+        assert not state.fits(0, 1.0, 7.0, count=3)
+
+
+@st.composite
+def operations(draw):
+    """A random interleaving of claims and releases on a 4-machine cell."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=0.1, max_value=2.0),
+                st.floats(min_value=0.1, max_value=4.0),
+                st.integers(min_value=1, max_value=3),
+            ),
+            max_size=50,
+        )
+    )
+    return ops
+
+
+class TestInvariantsProperty:
+    @given(operations())
+    @settings(max_examples=100, deadline=None)
+    def test_never_overcommitted_and_accounting_consistent(self, ops):
+        cell = Cell.homogeneous(4, 4.0, 16.0)
+        state = CellState(cell)
+        live: list[tuple[int, float, float, int]] = []
+        for machine, cpu, mem, count in ops:
+            try:
+                state.claim(machine, cpu, mem, count)
+                live.append((machine, cpu, mem, count))
+            except OvercommitError:
+                # Rejected claims must not change anything; verified by
+                # the invariant checks below.
+                pass
+            # Invariant: free within [0, capacity].
+            assert (state.free_cpu >= -1e-9).all()
+            assert (state.free_cpu <= cell.cpu_capacity + 1e-9).all()
+            assert (state.free_mem >= -1e-9).all()
+            assert (state.free_mem <= cell.mem_capacity + 1e-9).all()
+            # Invariant: used totals match the sum of live claims.
+            expected_cpu = sum(c * n for _, c, _, n in live)
+            assert state.used_cpu == pytest.approx(expected_cpu, abs=1e-6)
+        # Releasing everything returns the state to empty.
+        for machine, cpu, mem, count in live:
+            state.release(machine, cpu, mem, count)
+        assert state.used_cpu == pytest.approx(0.0, abs=1e-6)
+        assert np.allclose(state.free_cpu, cell.cpu_capacity)
+        assert np.allclose(state.free_mem, cell.mem_capacity)
+
+    @given(operations())
+    @settings(max_examples=50, deadline=None)
+    def test_sequence_numbers_monotonic(self, ops):
+        cell = Cell.homogeneous(4, 4.0, 16.0)
+        state = CellState(cell)
+        previous = state.seq.copy()
+        for machine, cpu, mem, count in ops:
+            try:
+                state.claim(machine, cpu, mem, count)
+            except OvercommitError:
+                pass
+            assert (state.seq >= previous).all()
+            previous = state.seq.copy()

@@ -1,0 +1,92 @@
+"""Tests for hot-machine conflict avoidance (section 8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.scheduler import OmegaScheduler
+from repro.schedulers.base import DecisionTimeModel
+from tests.conftest import make_job
+
+
+def make_scheduler(sim, metrics, state, name="s", seed=0, cooldown=0.0):
+    return OmegaScheduler(
+        name,
+        sim,
+        metrics,
+        state,
+        np.random.default_rng(seed),
+        DecisionTimeModel(t_job=0.1, t_task=0.0),
+        conflict_avoidance_cooldown=cooldown,
+    )
+
+
+class TestHotMachineAvoidance:
+    def test_conflicted_machine_avoided_during_cooldown(self, sim, metrics):
+        state = CellState(Cell.homogeneous(2, 4.0, 16.0))
+        scheduler = make_scheduler(sim, metrics, state, cooldown=30.0)
+        # Manufacture a conflict on machine 0: fill it mid-think.
+        job = make_job(num_tasks=1, cpu=3.0, mem=3.0, duration=5.0)
+        scheduler.submit(job)
+        state.claim(1, 4.0, 16.0)  # only machine 0 is plannable
+        sim.at(0.05, state.claim, 0, 4.0, 16.0)
+        sim.run(until=0.2)
+        assert job.conflicts == 1
+        assert 0 in scheduler._hot_machines
+        # Machine 0 frees up, but the scheduler still avoids it within
+        # the cooldown window.
+        state.release(0, 4.0, 16.0)
+        state.release(1, 4.0, 16.0)
+        follow_up = make_job(num_tasks=1, cpu=1.0, mem=1.0, duration=5.0)
+        scheduler.submit(follow_up)
+        sim.run(until=1.0)
+        placed_on = [
+            machine for machine in range(2) if state.free_cpu[machine] < 4.0
+        ]
+        assert placed_on == [1]
+
+    def test_cooldown_expires(self, sim, metrics):
+        state = CellState(Cell.homogeneous(1, 4.0, 16.0))
+        scheduler = make_scheduler(sim, metrics, state, cooldown=10.0)
+        scheduler._hot_machines[0] = 5.0
+        job = make_job(num_tasks=1, cpu=1.0, mem=1.0, duration=100.0)
+        sim.at(6.0, scheduler.submit, job)
+        sim.run(until=10.0)
+        assert job.is_fully_scheduled  # the entry expired before planning
+        assert scheduler._hot_machines == {}
+
+    def test_disabled_by_default(self, sim, metrics):
+        state = CellState(Cell.homogeneous(1, 4.0, 16.0))
+        scheduler = make_scheduler(sim, metrics, state)
+        assert scheduler.conflict_avoidance_cooldown == 0.0
+        job = make_job(num_tasks=1, cpu=3.0, mem=3.0, duration=1.0)
+        scheduler.submit(job)
+        state.claim(0, 2.0, 2.0)
+        sim.run(until=5.0)
+        assert scheduler._hot_machines == {}
+
+    def test_negative_cooldown_rejected(self, sim, metrics):
+        state = CellState(Cell.homogeneous(1, 4.0, 16.0))
+        with pytest.raises(ValueError, match="cooldown"):
+            make_scheduler(sim, metrics, state, cooldown=-1.0)
+
+    def test_avoidance_reduces_conflicts_under_contention(self, sim, metrics):
+        """Two schedulers repeatedly fighting over one scarce machine:
+        with backoff the loser steers away instead of re-colliding."""
+        state = CellState(Cell.homogeneous(4, 4.0, 16.0))
+        # Machines 1-3 are full; machine 0 is the hot machine.
+        for machine in (1, 2, 3):
+            state.claim(machine, 3.5, 14.0)
+        a = make_scheduler(sim, metrics, state, name="a", seed=1, cooldown=5.0)
+        b = make_scheduler(sim, metrics, state, name="b", seed=2, cooldown=5.0)
+        for index in range(6):
+            target = a if index % 2 == 0 else b
+            target.submit(make_job(num_tasks=8, cpu=0.5, mem=0.5, duration=3.0))
+        sim.run(until=60.0)
+        total_conflicts = sum(
+            sum(metrics.schedulers[name].conflicts.values()) for name in ("a", "b")
+        )
+        # The run completes; backoff keeps repeated collisions bounded.
+        assert metrics.jobs_scheduled_total == 6
+        assert total_conflicts <= 6

@@ -1,0 +1,66 @@
+"""Tests for populating cell state with standing tasks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.fill import populate
+from repro.sim import Simulator
+from repro.workload.generator import StandingTask
+from repro.workload.job import JobType
+
+
+def standing(cpu=1.0, mem=2.0, duration=100.0, job_type=JobType.BATCH):
+    return StandingTask(cpu=cpu, mem=mem, duration=duration, job_type=job_type)
+
+
+@pytest.fixture
+def state():
+    return CellState(Cell.homogeneous(4, 4.0, 16.0))
+
+
+class TestPopulate:
+    def test_places_all_when_room(self, state):
+        placed = populate(state, [standing() for _ in range(8)], np.random.default_rng(0))
+        assert placed == 8
+        assert state.used_cpu == 8.0
+
+    def test_stops_when_full(self, state):
+        tasks = [standing(cpu=4.0, mem=4.0) for _ in range(10)]
+        placed = populate(state, tasks, np.random.default_rng(0))
+        assert placed == 4  # one per machine
+        assert state.cpu_utilization == pytest.approx(1.0)
+
+    def test_schedules_releases(self, state):
+        sim = Simulator()
+        populate(state, [standing(duration=50.0)], np.random.default_rng(0), sim)
+        sim.run(until=49.0)
+        assert state.used_cpu == 1.0
+        sim.run(until=51.0)
+        assert state.used_cpu == 0.0
+
+    def test_skips_releases_beyond_horizon(self, state):
+        sim = Simulator()
+        populate(
+            state,
+            [standing(duration=1000.0), standing(duration=10.0)],
+            np.random.default_rng(0),
+            sim,
+            horizon=100.0,
+        )
+        # Only the short task's release is queued.
+        assert sim.pending() == 1
+
+    def test_no_sim_no_releases(self, state):
+        populate(state, [standing()], np.random.default_rng(0))
+        assert state.used_cpu == 1.0  # nothing will ever release it
+
+    def test_empty_tasks(self, state):
+        assert populate(state, [], np.random.default_rng(0)) == 0
+
+    def test_mixed_sizes_pack(self, state):
+        tasks = [standing(cpu=3.0, mem=3.0), standing(cpu=1.0, mem=1.0)] * 4
+        placed = populate(state, tasks, np.random.default_rng(1))
+        assert placed == 8
+        assert state.used_cpu == 16.0

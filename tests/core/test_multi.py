@@ -1,0 +1,85 @@
+"""Tests for hash-partitioned scheduler pools."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.multi import SchedulerPool
+from repro.core.scheduler import OmegaScheduler
+from repro.schedulers.base import DecisionTimeModel
+from tests.conftest import make_job
+
+
+class Recorder:
+    """Minimal pool member that records submissions."""
+
+    def __init__(self, name):
+        self.name = name
+        self.jobs = []
+
+    def submit(self, job):
+        self.jobs.append(job)
+
+
+class TestPoolRouting:
+    def test_routes_by_job_id(self):
+        pool = SchedulerPool([Recorder("a"), Recorder("b"), Recorder("c")])
+        jobs = [make_job() for _ in range(30)]
+        for job in jobs:
+            pool.submit(job)
+        for member in pool.schedulers:
+            for job in member.jobs:
+                assert pool.route(job) == pool.schedulers.index(member)
+
+    def test_routing_is_stable(self):
+        pool = SchedulerPool([Recorder("a"), Recorder("b")])
+        job = make_job()
+        assert pool.route(job) == pool.route(job)
+
+    def test_balances_across_members(self):
+        pool = SchedulerPool([Recorder(str(i)) for i in range(4)])
+        for _ in range(400):
+            pool.submit(make_job())
+        counts = [len(member.jobs) for member in pool.schedulers]
+        assert min(counts) > 50  # roughly balanced
+
+    def test_single_member_pool(self):
+        pool = SchedulerPool([Recorder("only")])
+        job = make_job()
+        pool.submit(job)
+        assert pool.schedulers[0].jobs == [job]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerPool([])
+
+    def test_names(self):
+        pool = SchedulerPool([Recorder("x"), Recorder("y")])
+        assert pool.names == ["x", "y"]
+        assert len(pool) == 2
+
+
+class TestPoolWithOmegaSchedulers:
+    def test_parallel_schedulers_share_state(self, sim, metrics):
+        state = CellState(Cell.homogeneous(20, 4.0, 16.0))
+        schedulers = [
+            OmegaScheduler(
+                f"batch-{i}",
+                sim,
+                metrics,
+                state,
+                np.random.default_rng(i),
+                DecisionTimeModel(t_job=0.5, t_task=0.0),
+            )
+            for i in range(4)
+        ]
+        pool = SchedulerPool(schedulers)
+        jobs = [make_job(num_tasks=2, cpu=0.5, mem=0.5) for _ in range(16)]
+        for job in jobs:
+            pool.submit(job)
+        sim.run(until=10.0)
+        assert all(job.is_fully_scheduled for job in jobs)
+        # Four parallel servers: 16 jobs at 0.5 s each finish in ~2 s,
+        # not the ~8 s a single serial scheduler would need.
+        assert max(job.fully_scheduled_time for job in jobs) < 4.0

@@ -1,0 +1,159 @@
+"""Tests for the lightweight-simulator harness."""
+
+import pytest
+
+from repro.experiments.common import (
+    ARCHITECTURES,
+    LightweightConfig,
+    LightweightSimulation,
+    format_table,
+    geometric_grid,
+    run_lightweight,
+)
+from repro.workload.job import JobType
+from tests.conftest import tiny_preset
+
+
+@pytest.fixture
+def preset():
+    return tiny_preset()
+
+
+class TestConfig:
+    def test_unknown_architecture_rejected(self, preset):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            LightweightConfig(preset=preset, architecture="quantum")
+
+    def test_invalid_horizon(self, preset):
+        with pytest.raises(ValueError):
+            LightweightConfig(preset=preset, horizon=0.0)
+
+    def test_default_period_is_quarter_horizon(self, preset):
+        config = LightweightConfig(preset=preset, horizon=4000.0)
+        assert config.period == 1000.0
+
+    def test_period_caps_at_a_day(self, preset):
+        config = LightweightConfig(preset=preset, horizon=10 * 86400.0)
+        assert config.period == 86400.0
+
+    def test_explicit_period_wins(self, preset):
+        config = LightweightConfig(preset=preset, metrics_period=500.0)
+        assert config.period == 500.0
+
+
+class TestHarness:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_every_architecture_runs(self, preset, architecture):
+        result = run_lightweight(
+            LightweightConfig(
+                preset=preset, architecture=architecture, horizon=600.0, seed=1
+            )
+        )
+        assert result.jobs_submitted > 0
+        assert result.jobs_scheduled > 0
+        assert 0.0 <= result.final_cpu_utilization <= 1.0
+
+    def test_identical_workload_across_architectures(self, preset):
+        """The cornerstone of the section 4 comparisons: the same seed
+        produces the same job stream for every architecture."""
+        counts = {}
+        for architecture in ("monolithic-single", "mesos", "omega"):
+            result = run_lightweight(
+                LightweightConfig(
+                    preset=preset, architecture=architecture, horizon=900.0, seed=7
+                )
+            )
+            counts[architecture] = result.jobs_submitted
+        assert len(set(counts.values())) == 1
+
+    def test_deterministic_given_seed(self, preset):
+        config = LightweightConfig(preset=preset, horizon=900.0, seed=3)
+        first = run_lightweight(config)
+        second = run_lightweight(
+            LightweightConfig(preset=preset, horizon=900.0, seed=3)
+        )
+        assert first.jobs_scheduled == second.jobs_scheduled
+        assert first.mean_wait(JobType.BATCH) == second.mean_wait(JobType.BATCH)
+        assert first.final_cpu_utilization == second.final_cpu_utilization
+
+    def test_seed_changes_outcome(self, preset):
+        first = run_lightweight(LightweightConfig(preset=preset, horizon=900.0, seed=1))
+        second = run_lightweight(LightweightConfig(preset=preset, horizon=900.0, seed=2))
+        fingerprint = lambda r: (r.events_processed, r.final_cpu_utilization)
+        assert fingerprint(first) != fingerprint(second)
+
+    def test_initial_utilization_override(self, preset):
+        low = run_lightweight(
+            LightweightConfig(
+                preset=preset, horizon=60.0, seed=0, initial_utilization=0.1
+            )
+        )
+        high = run_lightweight(
+            LightweightConfig(
+                preset=preset, horizon=60.0, seed=0, initial_utilization=0.8
+            )
+        )
+        assert high.final_cpu_utilization > low.final_cpu_utilization
+
+    def test_utilization_sampling(self, preset):
+        result = run_lightweight(
+            LightweightConfig(
+                preset=preset,
+                horizon=600.0,
+                seed=0,
+                utilization_sample_interval=100.0,
+            )
+        )
+        assert len(result.utilization_series) == 6
+        times = [t for t, _, _ in result.utilization_series]
+        assert times == sorted(times)
+
+    def test_multiple_batch_schedulers_names(self, preset):
+        result = run_lightweight(
+            LightweightConfig(
+                preset=preset, horizon=300.0, seed=0, num_batch_schedulers=3
+            )
+        )
+        assert len(result.batch_scheduler_names) == 3
+
+    def test_build_twice_rejected(self, preset):
+        simulation = LightweightSimulation(LightweightConfig(preset=preset))
+        simulation.build()
+        with pytest.raises(RuntimeError):
+            simulation.build()
+
+    def test_role_validation(self, preset):
+        result = run_lightweight(LightweightConfig(preset=preset, horizon=300.0))
+        with pytest.raises(ValueError, match="role"):
+            result.busyness("mystery")
+
+
+class TestHelpers:
+    def test_geometric_grid(self):
+        grid = geometric_grid(0.01, 100.0, 5)
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(100.0)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_geometric_grid_validation(self):
+        with pytest.raises(ValueError):
+            geometric_grid(1.0, 10.0, 1)
+        with pytest.raises(ValueError):
+            geometric_grid(10.0, 1.0, 3)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": "text"}]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.1235" in rendered
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = format_table(rows, columns=["b"])
+        assert "a" not in rendered.splitlines()[0]

@@ -1,0 +1,161 @@
+"""Tests for the extension wiring: preemption in the harness, ledger-
+aware quotas, ablation drivers, CLI additions."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.limits import LimitedOmegaScheduler, SchedulerLimits
+from repro.core.preemption import AllocationLedger
+from repro.core.scheduler_preempting import PreemptingOmegaScheduler
+from repro.core.transaction import Claim
+from repro.experiments import ablations
+from repro.experiments.cli import main, render_plot
+from repro.experiments.common import LightweightConfig, run_lightweight
+from repro.experiments.mesos import pathology_preset, pathology_rows
+from repro.schedulers.base import DecisionTimeModel
+from repro.workload.job import DEFAULT_PRECEDENCE, JobType
+from tests.conftest import make_job, tiny_preset
+
+
+class TestHarnessPreemption:
+    @pytest.fixture(scope="class")
+    def busy_preset(self):
+        return dataclasses.replace(tiny_preset(), initial_utilization=0.85)
+
+    def test_preemption_config_builds_and_runs(self, busy_preset):
+        result = run_lightweight(
+            LightweightConfig(
+                preset=busy_preset,
+                architecture="omega",
+                horizon=1200.0,
+                seed=2,
+                enable_preemption=True,
+            )
+        )
+        assert result.jobs_scheduled > 0
+        # Accounting symmetry: everything the service scheduler evicted
+        # was lost by the batch side.
+        assert result.preemptions_caused("service") == result.tasks_lost_to_preemption(
+            "batch"
+        )
+
+    def test_preemption_off_never_evicts(self, busy_preset):
+        result = run_lightweight(
+            LightweightConfig(
+                preset=busy_preset,
+                architecture="omega",
+                horizon=1200.0,
+                seed=2,
+                enable_preemption=False,
+            )
+        )
+        assert result.preemptions_caused("service") == 0
+
+    def test_generator_assigns_precedence_bands(self):
+        assert DEFAULT_PRECEDENCE[JobType.SERVICE] > DEFAULT_PRECEDENCE[JobType.BATCH]
+
+
+class TestLedgerAwareQuota:
+    def test_quota_freed_by_eviction(self, sim, metrics):
+        """With a shared ledger, a scheduler's quota usage drops the
+        moment its tasks are preempted, not at their original end."""
+        state = CellState(Cell.homogeneous(10, 4.0, 16.0))
+        ledger = AllocationLedger(state, sim)
+        limited = LimitedOmegaScheduler(
+            "limited",
+            sim,
+            metrics,
+            state,
+            np.random.default_rng(0),
+            DecisionTimeModel(t_job=0.1, t_task=0.0),
+            limits=SchedulerLimits(max_cpu=4.0),
+            ledger=ledger,
+        )
+        job = make_job(num_tasks=4, cpu=1.0, mem=1.0, duration=10_000.0)
+        limited.submit(job)
+        sim.run(until=1.0)
+        assert limited.current_usage()[0] == pytest.approx(4.0)
+        # Evict two of its tasks (as a preemptor would).
+        evicted = 0
+        for machine in range(10):
+            evicted += ledger.evict(
+                machine, need_cpu=2.0 - evicted, need_mem=0.0, below_precedence=99
+            )
+            if evicted >= 2:
+                break
+        assert evicted >= 2
+        assert limited.current_usage()[0] <= 2.0 + 1e-9
+
+
+class TestAblationDrivers:
+    def test_retry_rows_shape(self):
+        rows = ablations.retry_position_rows(scale=0.05, horizon=600.0)
+        assert {row["retry_position"] for row in rows} == {"head", "tail"}
+
+    def test_initial_utilization_rows_shape(self):
+        rows = ablations.initial_utilization_rows(
+            fills=(0.2, 0.7), scale=0.05, horizon=600.0
+        )
+        assert [row["initial_utilization"] for row in rows] == [0.2, 0.7]
+
+    def test_backoff_rows_shape(self):
+        rows = ablations.backoff_rows(cooldowns=(0.0, 10.0), scale=0.05, horizon=600.0)
+        assert [row["cooldown_s"] for row in rows] == [0.0, 10.0]
+
+    def test_preemption_rows_shape(self):
+        rows = ablations.preemption_rows(scale=0.05, horizon=900.0)
+        by_mode = {row["preemption"]: row for row in rows}
+        assert set(by_mode) == {"on", "off"}
+        assert by_mode["off"]["tasks_preempted"] == 0
+
+    def test_pathology_rows(self):
+        rows = pathology_rows(
+            t_jobs=(0.1,),
+            architectures=("omega",),
+            horizon=600.0,
+            num_machines=60,
+        )
+        assert len(rows) == 1
+        assert rows[0]["architecture"] == "omega"
+
+    def test_pathology_preset_has_big_tasks(self):
+        preset = pathology_preset()
+        rng = np.random.default_rng(0)
+        samples = preset.batch.cpu_per_task.sample_many(rng, 5000)
+        assert (samples > 1.5).mean() == pytest.approx(0.03, abs=0.01)
+
+
+class TestCliAdditions:
+    def test_ablation_command_runs(self, capsys):
+        assert main(["ablation-util", "--scale", "0.05", "--hours", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "initial_utilization" in output
+
+    def test_plot_flag_renders_chart(self, capsys):
+        assert (
+            main(["ablation-util", "--scale", "0.05", "--hours", "0.2", "--plot"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "legend:" in output
+
+    def test_plot_unsupported_command_warns(self, capsys):
+        assert main(["table1", "--plot"]) == 0
+        captured = capsys.readouterr()
+        assert "no chart available" in captured.err
+
+    def test_render_plot_series_grouping(self):
+        rows = [
+            {"cluster": "A", "rate_factor": 1.0, "busy_batch": 0.1},
+            {"cluster": "A", "rate_factor": 2.0, "busy_batch": 0.2},
+            {"cluster": "B", "rate_factor": 1.0, "busy_batch": 0.05},
+        ]
+        chart = render_plot("fig8", rows)
+        assert chart is not None
+        assert "A" in chart and "B" in chart
+
+    def test_render_plot_unknown_command(self):
+        assert render_plot("table1", [{"a": 1}]) is None

@@ -1,0 +1,71 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.io import FORMAT_VERSION, load_rows, save_rows
+
+ROWS = [
+    {"cluster": "A", "rate_factor": 1.0, "busy_batch": 0.38},
+    {"cluster": "B", "rate_factor": 2.0, "busy_batch": 0.33},
+]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = save_rows(ROWS, tmp_path / "out.json", experiment="fig8")
+        assert load_rows(path) == ROWS
+
+    def test_envelope_metadata(self, tmp_path):
+        path = save_rows(
+            ROWS, tmp_path / "out.json", experiment="fig8", parameters={"scale": 0.25}
+        )
+        envelope = json.loads(path.read_text())
+        assert envelope["experiment"] == "fig8"
+        assert envelope["parameters"]["scale"] == 0.25
+        assert envelope["format_version"] == FORMAT_VERSION
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99, "rows": []}))
+        with pytest.raises(ValueError, match="format_version"):
+            load_rows(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_values(self, tmp_path):
+        path = save_rows(ROWS, tmp_path / "out.csv")
+        loaded = load_rows(path)
+        assert loaded[0]["cluster"] == "A"
+        assert loaded[0]["busy_batch"] == pytest.approx(0.38)
+
+    def test_union_of_columns(self, tmp_path):
+        ragged = [{"a": 1}, {"a": 2, "b": 3}]
+        path = save_rows(ragged, tmp_path / "out.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+    def test_empty_rows(self, tmp_path):
+        path = save_rows([], tmp_path / "empty.csv")
+        assert load_rows(path) == []
+
+
+class TestFormatValidation:
+    def test_unknown_save_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported output"):
+            save_rows(ROWS, tmp_path / "out.xlsx")
+
+    def test_unknown_load_format(self, tmp_path):
+        path = tmp_path / "data.xml"
+        path.write_text("<rows/>")
+        with pytest.raises(ValueError, match="unsupported input"):
+            load_rows(path)
+
+    def test_cli_output_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "rows.json"
+        assert main(["table1", "--output", str(out)]) == 0
+        rows = load_rows(out)
+        assert any(row["approach"] == "Shared-state (Omega)" for row in rows)

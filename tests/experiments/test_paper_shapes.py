@@ -1,0 +1,167 @@
+"""Integration tests: the paper's qualitative results at reduced scale.
+
+Each test runs the actual experiment machinery on scaled-down clusters
+and asserts the *shape* the paper reports — who wins, what grows, where
+the pathologies appear. These are the repository's ground-truth checks
+that the reproduction reproduces.
+"""
+
+import pytest
+
+from repro.core.transaction import CommitMode, ConflictMode
+from repro.experiments.common import LightweightConfig, run_lightweight
+from repro.schedulers.base import DecisionTimeModel
+from repro.workload.clusters import CLUSTER_A
+from repro.workload.job import JobType
+from tests.conftest import mesos_pathology_preset
+
+HORIZON = 3 * 3600.0
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return CLUSTER_A.scaled(SCALE)
+
+
+def run(preset, architecture, t_job_service=0.1, **kwargs):
+    return run_lightweight(
+        LightweightConfig(
+            preset=preset,
+            architecture=architecture,
+            horizon=HORIZON,
+            seed=11,
+            service_model=DecisionTimeModel(t_job=t_job_service),
+            **kwargs,
+        )
+    )
+
+
+class TestSinglePathHeadOfLineBlocking:
+    """Figure 5a/6a: slow decisions saturate the single-path scheduler
+    and delay *all* jobs."""
+
+    def test_saturation_with_long_decisions(self, preset):
+        fast = run(preset, "monolithic-single", t_job_service=0.1)
+        slow = run(preset, "monolithic-single", t_job_service=10.0)
+        assert slow.busyness("batch") > 0.9
+        assert slow.mean_wait(JobType.BATCH) > 100 * fast.mean_wait(JobType.BATCH)
+
+    def test_busyness_grows_with_t_job(self, preset):
+        values = [
+            run(preset, "monolithic-single", t_job_service=t).busyness("batch")
+            for t in (0.1, 1.0, 10.0)
+        ]
+        assert values[0] < values[1] < values[2]
+
+
+class TestMultiPathStillBlocks:
+    """Figure 5b: the fast batch path helps, but batch jobs still queue
+    behind slow service decisions."""
+
+    def test_batch_faster_than_single_path(self, preset):
+        single = run(preset, "monolithic-single", t_job_service=10.0)
+        multi = run(preset, "monolithic-multi", t_job_service=10.0)
+        assert multi.mean_wait(JobType.BATCH) < single.mean_wait(JobType.BATCH) / 10
+
+    def test_hol_blocking_remains(self, preset):
+        fast = run(preset, "monolithic-multi", t_job_service=0.1)
+        slow = run(preset, "monolithic-multi", t_job_service=100.0)
+        assert slow.mean_wait(JobType.BATCH) > 5 * max(
+            fast.mean_wait(JobType.BATCH), 0.01
+        )
+
+
+class TestOmegaDecouples:
+    """Figure 5c: batch and service lines are independent under Omega."""
+
+    def test_batch_unaffected_by_service_decision_time(self, preset):
+        fast = run(preset, "omega", t_job_service=0.1)
+        slow = run(preset, "omega", t_job_service=100.0)
+        assert slow.mean_wait(JobType.BATCH) == pytest.approx(
+            fast.mean_wait(JobType.BATCH), rel=0.25
+        )
+        assert slow.busyness("batch") == pytest.approx(
+            fast.busyness("batch"), rel=0.25
+        )
+
+    def test_omega_beats_multipath_on_batch_wait_at_long_service_times(self, preset):
+        multi = run(preset, "monolithic-multi", t_job_service=100.0)
+        omega = run(preset, "omega", t_job_service=100.0)
+        assert omega.mean_wait(JobType.BATCH) < multi.mean_wait(JobType.BATCH)
+
+    def test_all_jobs_scheduled_at_defaults(self, preset):
+        result = run(preset, "omega")
+        assert result.jobs_abandoned == 0
+        assert result.unscheduled_fraction < 0.02
+
+
+class TestMesosPathology:
+    """Figure 7: offer-based pessimistic locking starves the batch
+    framework once service decisions get slow — "nearly all cluster
+    resources are locked down for a long time"; batch lives on the few
+    resources freed while the service framework thinks."""
+
+    @pytest.fixture(scope="class")
+    def pathology(self):
+        # A busy cell where the service framework's offer-holds matter:
+        # rare, tiny service jobs with huge decision times lock the
+        # whole-cell offers without consuming resources themselves.
+        return mesos_pathology_preset()
+
+    def run_pathology(self, pathology, architecture, t_job):
+        return run_lightweight(
+            LightweightConfig(
+                preset=pathology,
+                architecture=architecture,
+                horizon=2 * 3600.0,
+                seed=11,
+                service_model=DecisionTimeModel(t_job=t_job),
+            )
+        )
+
+    def test_batch_busyness_inflates_vs_omega(self, pathology):
+        """Retries against scrap offers burn batch decision time that
+        the shared-state scheduler never spends."""
+        mesos = self.run_pathology(pathology, "mesos", t_job=100.0)
+        omega = self.run_pathology(pathology, "omega", t_job=100.0)
+        assert mesos.busyness("batch") > 1.5 * omega.busyness("batch")
+
+    def test_mesos_busyness_grows_with_service_decision_time(self, pathology):
+        fast = self.run_pathology(pathology, "mesos", t_job=0.1)
+        slow = self.run_pathology(pathology, "mesos", t_job=100.0)
+        assert slow.busyness("batch") > fast.busyness("batch") + 0.1
+
+    def test_omega_immune_to_the_same_sweep(self, pathology):
+        fast = self.run_pathology(pathology, "omega", t_job=0.1)
+        slow = self.run_pathology(pathology, "omega", t_job=100.0)
+        assert slow.busyness("batch") == pytest.approx(
+            fast.busyness("batch"), abs=0.05
+        )
+
+    def test_batch_wait_grows_with_service_decision_time(self, pathology):
+        fast = self.run_pathology(pathology, "mesos", t_job=0.1)
+        slow = self.run_pathology(pathology, "mesos", t_job=100.0)
+        assert slow.mean_wait(JobType.BATCH) > 2 * max(
+            fast.mean_wait(JobType.BATCH), 0.01
+        )
+
+
+class TestGangAndCoarseCostMore:
+    """Figure 14's direction: coarse detection and gang commits add
+    conflicts relative to fine-grained incremental commits."""
+
+    def test_coarse_gang_not_cheaper(self, preset):
+        fine = run(preset, "omega", t_job_service=10.0)
+        coarse_gang = run(
+            preset,
+            "omega",
+            t_job_service=10.0,
+            conflict_mode=ConflictMode.COARSE,
+            commit_mode=CommitMode.ALL_OR_NOTHING,
+        )
+        assert (
+            coarse_gang.conflict_fraction("batch")
+            >= fine.conflict_fraction("batch")
+        )
+        assert coarse_gang.jobs_scheduled <= fine.jobs_scheduled

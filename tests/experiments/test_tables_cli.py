@@ -1,0 +1,93 @@
+"""Tests for the Table 1/2 data and the omega-sim CLI."""
+
+import pytest
+
+from repro.experiments.cli import COMMANDS, build_parser, main
+from repro.experiments.tables import (
+    TABLE1,
+    TABLE2,
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestTable1:
+    def test_four_approaches(self):
+        approaches = [row.approach for row in TABLE1]
+        assert approaches == [
+            "Monolithic",
+            "Statically partitioned",
+            "Two-level (Mesos)",
+            "Shared-state (Omega)",
+        ]
+
+    def test_omega_and_monolithic_see_everything(self):
+        by_name = {row.approach: row for row in TABLE1}
+        assert by_name["Monolithic"].resource_choice == "all available"
+        assert by_name["Shared-state (Omega)"].resource_choice == "all available"
+        assert by_name["Two-level (Mesos)"].resource_choice == "dynamic subset"
+
+    def test_concurrency_claims(self):
+        by_name = {row.approach: row for row in TABLE1}
+        assert by_name["Two-level (Mesos)"].interference == "pessimistic"
+        assert by_name["Shared-state (Omega)"].interference == "optimistic"
+
+    def test_render(self):
+        rendered = render_table1()
+        assert "Shared-state (Omega)" in rendered
+        assert "optimistic" in rendered
+
+    def test_rows_are_dicts(self):
+        assert all(isinstance(row, dict) for row in table1_rows())
+
+
+class TestTable2:
+    def test_constraint_row(self):
+        by_property = {row.property: row for row in TABLE2}
+        assert by_property["Sched. constraints"].lightweight == "ignored"
+        assert by_property["Sched. constraints"].high_fidelity == "obeyed"
+
+    def test_substitutions_marked(self):
+        """Table 2 rows that used Google data must be labeled as
+        synthetic-trace substitutions in this reproduction."""
+        for row in TABLE2:
+            if "actual data" in row.high_fidelity:
+                assert "synthetic" in row.high_fidelity
+
+    def test_render(self):
+        assert "randomized first fit" in render_table2()
+        assert len(table2_rows()) == len(TABLE2)
+
+
+class TestCli:
+    def test_all_figures_have_commands(self):
+        expected = {f"fig{i}" for i in list(range(2, 5)) + list(range(7, 17))}
+        expected |= {"fig5a", "fig5b", "fig5c", "table1", "table2", "partitioned"}
+        assert expected <= set(COMMANDS)
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--scale", "0.1", "--hours", "1"])
+        assert args.command == "fig8"
+        assert args.scale == 0.1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_command_runs(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Shared-state (Omega)" in output
+
+    def test_characterization_command_runs(self, capsys):
+        assert main(["fig4", "--samples", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "cdf@1" in output
+
+    def test_simulation_command_runs(self, capsys):
+        assert main(["fig16", "--scale", "0.04", "--hours", "0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "max-parallelism" in output

@@ -1,0 +1,98 @@
+"""Tests for the Figure 2-4 workload-characterization drivers."""
+
+import pytest
+
+from repro.experiments.workload_char import (
+    figure2_rows,
+    figure3_rows,
+    figure4_rows,
+)
+
+SAMPLES = 15_000
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure2_rows(samples=SAMPLES, seed=0)
+
+    def test_covers_all_clusters_and_metrics(self, rows):
+        clusters = {row["cluster"] for row in rows}
+        metrics = {row["metric"] for row in rows}
+        assert clusters == {"A", "B", "C"}
+        assert metrics == {"jobs", "tasks", "cpu_core_seconds", "ram_gb_seconds"}
+
+    def test_shares_sum_to_one(self, rows):
+        for row in rows:
+            assert row["batch_share"] + row["service_share"] == pytest.approx(1.0)
+
+    def test_batch_majority_of_jobs(self, rows):
+        """Paper: most (>80 %) jobs are batch jobs."""
+        for row in rows:
+            if row["metric"] == "jobs":
+                assert row["batch_share"] > 0.8
+
+    def test_service_majority_of_resources(self, rows):
+        """Paper: the majority of resources (55-80 %) are allocated to
+        service jobs."""
+        for row in rows:
+            if row["metric"] in ("cpu_core_seconds", "ram_gb_seconds"):
+                assert 0.55 < row["service_share"] < 0.80
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure3_rows(samples=SAMPLES, seed=0)
+
+    def _row(self, rows, cluster, kind):
+        (match,) = [
+            row for row in rows if row["cluster"] == cluster and row["type"] == kind
+        ]
+        return match
+
+    def test_batch_cdf_reaches_one_within_window(self, rows):
+        for cluster in "ABC":
+            assert self._row(rows, cluster, "batch")["runtime_cdf@29d"] > 0.999
+
+    def test_service_cdf_does_not_reach_one(self, rows):
+        """Figure 3 caption: 'Where the lines do not meet 1.0, some of
+        the jobs ran for longer than the 30-day range.'"""
+        for cluster in "ABC":
+            assert self._row(rows, cluster, "service")["runtime_cdf@29d"] < 0.97
+
+    def test_service_runs_longer_at_every_point(self, rows):
+        for cluster in "ABC":
+            batch = self._row(rows, cluster, "batch")
+            service = self._row(rows, cluster, "service")
+            for point in ("1min", "1h", "1d"):
+                assert service[f"runtime_cdf@{point}"] < batch[f"runtime_cdf@{point}"]
+
+    def test_batch_interarrivals_shorter(self, rows):
+        for cluster in "ABC":
+            batch = self._row(rows, cluster, "batch")
+            service = self._row(rows, cluster, "service")
+            assert batch["interarrival_cdf@1min"] > service["interarrival_cdf@1min"]
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure4_rows(samples=SAMPLES, seed=0)
+
+    def test_cdf_monotone(self, rows):
+        for row in rows:
+            values = [row[f"cdf@{p}"] for p in (1, 10, 100, 1000, 10000)]
+            assert values == sorted(values)
+
+    def test_heavy_tail(self, rows):
+        """Figure 4's tail panel: beyond the 95th percentile, jobs have
+        hundreds to thousands of tasks."""
+        for row in rows:
+            assert row["frac_jobs_ge_100_tasks"] > 0.05
+            assert row["frac_jobs_ge_1000_tasks"] > 0.001
+            assert row["p99_tasks"] > 100
+
+    def test_most_jobs_small(self, rows):
+        for row in rows:
+            assert row["cdf@100"] > 0.8

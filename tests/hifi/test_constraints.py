@@ -1,0 +1,80 @@
+"""Tests for placement constraints and the attribute index."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.hifi.constraints import AttributeIndex, Constraint, ConstraintOp
+
+
+@pytest.fixture
+def cell():
+    return Cell.heterogeneous(
+        [
+            (3, 4.0, 16.0, {"arch": "x86", "kernel": "3.2"}),
+            (2, 8.0, 32.0, {"arch": "x86", "kernel": "3.8"}),
+            (1, 4.0, 16.0, {"arch": "arm", "kernel": "3.8"}),
+        ]
+    )
+
+
+@pytest.fixture
+def index(cell):
+    return AttributeIndex(cell)
+
+
+class TestConstraint:
+    def test_eq_satisfied(self):
+        constraint = Constraint("arch", ConstraintOp.EQ, "x86")
+        assert constraint.satisfied_by({"arch": "x86"})
+        assert not constraint.satisfied_by({"arch": "arm"})
+        assert not constraint.satisfied_by({})
+
+    def test_neq_satisfied(self):
+        constraint = Constraint("arch", ConstraintOp.NEQ, "arm")
+        assert constraint.satisfied_by({"arch": "x86"})
+        assert not constraint.satisfied_by({"arch": "arm"})
+        assert constraint.satisfied_by({})  # missing attribute != value
+
+    def test_tuple_round_trip(self):
+        constraint = Constraint("kernel", ConstraintOp.NEQ, "3.2")
+        assert Constraint.from_tuple(constraint.to_tuple()) == constraint
+
+
+class TestAttributeIndex:
+    def test_mask_matches_machines(self, cell, index):
+        mask = index.mask("arch", "x86")
+        assert mask.sum() == 5
+        assert list(np.flatnonzero(~mask)) == [5]
+
+    def test_unknown_value_is_all_false(self, index):
+        assert not index.mask("arch", "riscv").any()
+
+    def test_unknown_attribute_is_all_false(self, index):
+        assert not index.mask("gpu", "yes").any()
+
+    def test_feasible_empty_constraints_is_all(self, cell, index):
+        assert index.feasible_mask(()).sum() == len(cell)
+
+    def test_feasible_conjunction(self, index):
+        constraints = (
+            Constraint("arch", ConstraintOp.EQ, "x86"),
+            Constraint("kernel", ConstraintOp.EQ, "3.8"),
+        )
+        mask = index.feasible_mask(constraints)
+        assert list(np.flatnonzero(mask)) == [3, 4]
+
+    def test_feasible_neq(self, index):
+        mask = index.feasible_mask((Constraint("arch", ConstraintOp.NEQ, "x86"),))
+        assert list(np.flatnonzero(mask)) == [5]
+
+    def test_unsatisfiable_conjunction(self, index):
+        constraints = (
+            Constraint("arch", ConstraintOp.EQ, "arm"),
+            Constraint("kernel", ConstraintOp.EQ, "3.2"),
+        )
+        assert not index.feasible_mask(constraints).any()
+
+    def test_masks_read_only(self, index):
+        with pytest.raises(ValueError):
+            index.mask("arch", "x86")[0] = False

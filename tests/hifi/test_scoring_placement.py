@@ -1,0 +1,148 @@
+"""Tests for the constraint-aware scoring placer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.hifi.constraints import Constraint, ConstraintOp
+from repro.hifi.placement import ScoringPlacer
+from repro.workload.job import JobType
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def cell():
+    return Cell.heterogeneous(
+        [
+            (8, 4.0, 16.0, {"kernel": "3.2"}),
+            (4, 8.0, 32.0, {"kernel": "3.8"}),
+        ],
+        machines_per_rack=4,
+    )
+
+
+@pytest.fixture
+def state(cell):
+    return CellState(cell)
+
+
+@pytest.fixture
+def placer(cell):
+    return ScoringPlacer(cell)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstraintsObeyed:
+    def test_constrained_job_lands_on_feasible_machines(self, state, placer, rng):
+        job = make_job(
+            num_tasks=4,
+            cpu=1.0,
+            mem=1.0,
+            constraints=(Constraint("kernel", ConstraintOp.EQ, "3.8"),),
+        )
+        claims = placer.place(state.snapshot(), job, rng)
+        assert sum(c.count for c in claims) == 4
+        assert all(claim.machine >= 8 for claim in claims)  # 3.8 machines
+
+    def test_unsatisfiable_job_gets_nothing(self, state, placer, rng):
+        job = make_job(
+            num_tasks=1,
+            constraints=(Constraint("kernel", ConstraintOp.EQ, "9.9"),),
+        )
+        assert placer.place(state.snapshot(), job, rng) == []
+
+    def test_unconstrained_job_uses_whole_cell(self, state, placer, rng):
+        job = make_job(num_tasks=30, cpu=1.0, mem=1.0)
+        claims = placer.place(state.snapshot(), job, rng)
+        assert sum(c.count for c in claims) == 30
+
+
+class TestScoringBehaviour:
+    def test_best_fit_prefers_fuller_machines(self, state, placer, rng):
+        """Best-fit: a machine already partially used scores better
+        (less normalized leftover) than an empty identical one."""
+        state.claim(0, 2.0, 8.0)
+        job = make_job(num_tasks=1, cpu=1.0, mem=2.0)
+        claims = placer.place(state.snapshot(), job, rng)
+        assert claims[0].machine == 0
+
+    def test_same_seed_is_deterministic(self, cell, placer):
+        state = CellState(cell)
+        state.claim(3, 2.0, 8.0)
+        job_a = make_job(num_tasks=2, cpu=1.0, mem=2.0)
+        job_b = make_job(num_tasks=2, cpu=1.0, mem=2.0)
+        claims_a = placer.place(state.snapshot(), job_a, np.random.default_rng(1))
+        claims_b = placer.place(state.snapshot(), job_b, np.random.default_rng(1))
+        assert [c.machine for c in claims_a] == [c.machine for c in claims_b]
+
+    def test_contending_schedulers_overlap_often(self, cell, placer):
+        """Different schedulers planning on the same snapshot tend to
+        pick overlapping machines — the property that makes the
+        high-fidelity simulator see more interference than randomized
+        first fit (the small jitter only reorders near-equal scores)."""
+        state = CellState(cell)
+        for machine in range(6):
+            state.claim(machine, 2.0, 8.0)  # make a few machines "best fit"
+        job = make_job(num_tasks=4, cpu=1.0, mem=2.0)
+        overlaps = 0
+        trials = 20
+        for seed in range(trials):
+            a = placer.place(state.snapshot(), job, np.random.default_rng(seed))
+            b = placer.place(
+                state.snapshot(), job, np.random.default_rng(seed + 1000)
+            )
+            if {c.machine for c in a} & {c.machine for c in b}:
+                overlaps += 1
+        assert overlaps > trials * 0.6
+
+    def test_claims_fit_snapshot(self, state, placer, rng):
+        job = make_job(num_tasks=50, cpu=1.0, mem=4.0)
+        snapshot = state.snapshot()
+        for claim in placer.place(snapshot, job, rng):
+            assert claim.cpu * claim.count <= snapshot.free_cpu[claim.machine] + 1e-9
+            assert claim.mem * claim.count <= snapshot.free_mem[claim.machine] + 1e-9
+
+
+class TestFailureDomainSpreading:
+    def test_service_job_spreads_over_racks(self, state, placer, rng):
+        job = make_job(
+            job_type=JobType.SERVICE, num_tasks=12, cpu=0.5, mem=0.5
+        )
+        claims = placer.place(state.snapshot(), job, rng)
+        racks = {int(state.cell.racks[c.machine]) for c in claims}
+        assert len(racks) >= 3
+
+    def test_batch_job_may_pack_one_machine(self, state, placer, rng):
+        job = make_job(job_type=JobType.BATCH, num_tasks=8, cpu=1.0, mem=1.0)
+        claims = placer.place(state.snapshot(), job, rng)
+        # Batch placement has no spreading cap: machines take multiple
+        # tasks, up to capacity minus the 10 % headroom reserve.
+        assert max(c.count for c in claims) >= 3
+
+    def test_headroom_reserved(self, state, placer, rng):
+        """The placer never packs a machine into its headroom reserve."""
+        job = make_job(job_type=JobType.BATCH, num_tasks=200, cpu=1.0, mem=1.0)
+        claims = placer.place(state.snapshot(), job, rng)
+        for claim in claims:
+            capacity = state.cell.cpu_capacity[claim.machine]
+            assert claim.count * 1.0 <= capacity * 0.9 + 1e-9
+
+    def test_headroom_validation(self, cell):
+        with pytest.raises(ValueError, match="headroom"):
+            ScoringPlacer(cell, headroom=1.0)
+
+    def test_service_single_task_fine(self, state, placer, rng):
+        job = make_job(job_type=JobType.SERVICE, num_tasks=1)
+        claims = placer.place(state.snapshot(), job, rng)
+        assert sum(c.count for c in claims) == 1
+
+    def test_placer_is_placementfn_compatible(self, state, placer):
+        job = make_job(num_tasks=1)
+        via_call = placer(state.snapshot(), job, np.random.default_rng(7))
+        via_method = placer.place(state.snapshot(), job, np.random.default_rng(7))
+        assert via_call == via_method

@@ -1,0 +1,105 @@
+"""Tests for the MapReduce resource-allocation policies."""
+
+import pytest
+
+from repro.mapreduce.model import MapReduceProfile
+from repro.mapreduce.policies import (
+    ClusterView,
+    GlobalCapPolicy,
+    MaxParallelismPolicy,
+    NoAccelerationPolicy,
+    RelativeJobSizePolicy,
+    decide_workers,
+)
+
+
+def profile(maps=400, reduces=100, workers=10, cpu=1.0, mem=2.0):
+    return MapReduceProfile(
+        maps=maps,
+        reduces=reduces,
+        map_duration=60.0,
+        reduce_duration=120.0,
+        workers_configured=workers,
+        cpu_per_worker=cpu,
+        mem_per_worker=mem,
+    )
+
+
+def view(idle_cpu=1000.0, idle_mem=4000.0, total_cpu=2000.0, total_mem=8000.0):
+    return ClusterView(
+        idle_cpu=idle_cpu, idle_mem=idle_mem, total_cpu=total_cpu, total_mem=total_mem
+    )
+
+
+class TestClusterView:
+    def test_utilization(self):
+        assert view(idle_cpu=500.0, total_cpu=2000.0).utilization == 0.75
+
+
+class TestPolicyCaps:
+    def test_no_acceleration(self):
+        assert NoAccelerationPolicy().worker_cap(profile(), view()) == 10
+
+    def test_max_parallelism_goes_to_useful_limit(self):
+        assert MaxParallelismPolicy().worker_cap(profile(maps=400), view()) == 400
+
+    def test_relative_job_size_caps_at_4x(self):
+        assert RelativeJobSizePolicy().worker_cap(profile(workers=10), view()) == 40
+
+    def test_relative_cap_never_exceeds_useful(self):
+        p = profile(maps=15, reduces=0, workers=10)
+        assert RelativeJobSizePolicy().worker_cap(p, view()) == 15
+
+    def test_global_cap_blocks_above_threshold(self):
+        busy = view(idle_cpu=100.0, total_cpu=2000.0)  # 95% utilization
+        assert GlobalCapPolicy(0.6).worker_cap(profile(), busy) == 10
+
+    def test_global_cap_allows_headroom_below_threshold(self):
+        idle = view(idle_cpu=1600.0, total_cpu=2000.0)  # 20% utilization
+        cap = GlobalCapPolicy(0.6).worker_cap(profile(cpu=1.0), idle)
+        # Headroom to the 60% line is 0.4 * 2000 = 800 extra workers.
+        assert cap == pytest.approx(400)  # clipped at max useful (400 maps)
+
+    def test_global_cap_validation(self):
+        with pytest.raises(ValueError):
+            GlobalCapPolicy(0.0)
+
+    def test_relative_factor_validation(self):
+        with pytest.raises(ValueError):
+            RelativeJobSizePolicy(0.5)
+
+
+class TestDecideWorkers:
+    def test_grows_to_earliest_finish(self):
+        workers = decide_workers(profile(), MaxParallelismPolicy(), view())
+        assert workers == 400  # grid includes the cap; model is monotone
+
+    def test_respects_idle_resources(self):
+        tight = view(idle_cpu=50.0, idle_mem=4000.0)
+        workers = decide_workers(profile(cpu=1.0), MaxParallelismPolicy(), tight)
+        assert workers <= 50
+
+    def test_memory_can_bind(self):
+        tight = view(idle_cpu=1000.0, idle_mem=40.0)
+        workers = decide_workers(profile(mem=2.0), MaxParallelismPolicy(), tight)
+        assert workers <= 20
+
+    def test_never_below_configured(self):
+        empty = view(idle_cpu=0.0, idle_mem=0.0)
+        workers = decide_workers(profile(workers=10), MaxParallelismPolicy(), empty)
+        assert workers == 10
+
+    def test_no_acceleration_keeps_configured(self):
+        workers = decide_workers(profile(workers=10), NoAccelerationPolicy(), view())
+        assert workers == 10
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            decide_workers(profile(), MaxParallelismPolicy(), view(), candidates=1)
+
+    def test_grid_evaluates_intermediate_sizes(self):
+        """When the model saturates mid-grid, the smallest allocation
+        achieving the best finish time is picked (ties -> fewer workers)."""
+        p = profile(maps=50, reduces=0, workers=10)
+        workers = decide_workers(p, MaxParallelismPolicy(), view())
+        assert workers == 50  # beyond 50 maps nothing improves

@@ -1,0 +1,142 @@
+"""Tests for the metrics collector: busyness bucketing, conflict
+fraction, wait times."""
+
+import math
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.workload.job import JobType
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector(period=100.0)
+
+
+class TestBusyness:
+    def test_single_interval(self, collector):
+        collector.record_busy("s", 10.0, 60.0)
+        assert collector.busyness_series("s", 100.0) == [0.5]
+
+    def test_interval_split_across_buckets(self, collector):
+        collector.record_busy("s", 90.0, 120.0)
+        series = collector.busyness_series("s", 200.0)
+        assert series == pytest.approx([0.1, 0.2])
+
+    def test_partial_final_bucket_normalized(self, collector):
+        collector.record_busy("s", 100.0, 125.0)
+        series = collector.busyness_series("s", 150.0)
+        assert series == pytest.approx([0.0, 0.5])
+
+    def test_exact_multiple_horizon_has_no_empty_bucket(self, collector):
+        collector.record_busy("s", 0.0, 100.0)
+        assert len(collector.busyness_series("s", 400.0)) == 4
+
+    def test_large_horizon_float_precision(self):
+        """Regression: horizons where eps(horizon) > 1e-12 used to
+        produce a zero-length trailing bucket and divide by zero."""
+        collector = MetricsCollector(period=5400.0)
+        collector.record_busy("s", 0.0, 21600.0)
+        series = collector.busyness_series("s", 21600.0)
+        assert len(series) == 4
+        assert series == pytest.approx([1.0] * 4)
+
+    def test_median_and_mad(self, collector):
+        collector.record_busy("s", 0.0, 10.0)  # bucket 0: 0.1
+        collector.record_busy("s", 100.0, 130.0)  # bucket 1: 0.3
+        collector.record_busy("s", 200.0, 250.0)  # bucket 2: 0.5
+        assert collector.median_busyness("s", 300.0) == pytest.approx(0.3)
+        assert collector.mad_busyness("s", 300.0) == pytest.approx(0.2)
+
+    def test_unknown_scheduler_is_all_zero(self, collector):
+        assert collector.busyness_series("ghost", 200.0) == [0.0, 0.0]
+
+    def test_backwards_interval_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.record_busy("s", 10.0, 5.0)
+
+    def test_productive_excludes_conflict_retries(self, collector):
+        collector.record_busy("s", 0.0, 40.0, conflict_retry=False)
+        collector.record_busy("s", 40.0, 60.0, conflict_retry=True)
+        assert collector.busyness_series("s", 100.0) == [0.6]
+        assert collector.productive_busyness_series("s", 100.0) == [0.4]
+        assert collector.median_productive_busyness("s", 100.0) == 0.4
+
+
+class TestConflictFraction:
+    def test_counts_conflicts_per_scheduled_job(self, collector):
+        job = make_job()
+        collector.record_commit("s", conflicted=True, time=10.0)
+        collector.record_commit("s", conflicted=False, time=11.0)
+        collector.record_scheduled("s", job, time=11.0)
+        assert collector.conflict_fraction_series("s", 100.0) == [1.0]
+        assert collector.overall_conflict_fraction("s") == 1.0
+
+    def test_zero_when_no_conflicts(self, collector):
+        collector.record_scheduled("s", make_job(), time=5.0)
+        assert collector.overall_conflict_fraction("s") == 0.0
+
+    def test_nan_when_nothing_scheduled(self, collector):
+        assert math.isnan(collector.overall_conflict_fraction("s"))
+
+    def test_median_daily(self, collector):
+        for bucket, conflicts in enumerate([0, 2, 4]):
+            for _ in range(conflicts):
+                collector.record_commit("s", True, time=bucket * 100.0 + 1)
+            collector.record_scheduled("s", make_job(), time=bucket * 100.0 + 2)
+        assert collector.median_conflict_fraction("s", 300.0) == 2.0
+
+    def test_commit_counters(self, collector):
+        collector.record_commit("s", True, 0.0)
+        collector.record_commit("s", False, 0.0)
+        per = collector.schedulers["s"]
+        assert per.transactions_attempted == 2
+        assert per.transactions_committed == 1
+
+
+class TestWaitTimes:
+    def test_wait_recorded_per_type_and_scheduler(self, collector):
+        job = make_job(job_type=JobType.SERVICE, submit_time=5.0)
+        job.mark_first_attempt(15.0)
+        collector.record_first_attempt("s", job)
+        assert collector.wait_times(JobType.SERVICE) == [10.0]
+        assert collector.mean_wait_time(JobType.SERVICE) == 10.0
+        assert collector.scheduler_wait_times("s") == [10.0]
+        assert collector.mean_scheduler_wait_time("s") == 10.0
+
+    def test_mean_wait_nan_when_empty(self, collector):
+        assert math.isnan(collector.mean_wait_time(JobType.BATCH))
+        assert math.isnan(collector.mean_scheduler_wait_time("s"))
+
+    def test_p90(self, collector):
+        for wait in range(1, 11):
+            job = make_job(submit_time=0.0)
+            job.mark_first_attempt(float(wait))
+            collector.record_first_attempt("s", job)
+        assert collector.p90_wait_time(JobType.BATCH) == pytest.approx(9.1)
+
+
+class TestCounters:
+    def test_submission_and_scheduled_totals(self, collector):
+        job = make_job(num_tasks=7)
+        collector.record_submission(job)
+        collector.record_scheduled("s", job, time=0.0)
+        assert collector.jobs_submitted == 1
+        assert collector.jobs_scheduled_total == 1
+        assert collector.tasks_scheduled_total == 7
+
+    def test_abandoned(self, collector):
+        collector.record_abandoned("s", make_job())
+        assert collector.abandoned("s") == 1
+        assert collector.jobs_abandoned_total == 1
+
+    def test_scheduler_names_sorted(self, collector):
+        collector.record_busy("zeta", 0.0, 1.0)
+        collector.record_busy("alpha", 0.0, 1.0)
+        assert collector.scheduler_names() == ["alpha", "zeta"]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(period=0.0)

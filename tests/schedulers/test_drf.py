@@ -1,0 +1,52 @@
+"""Tests for Dominant Resource Fairness ordering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedulers.mesos.drf import dominant_share, pick_next_framework
+
+
+class TestDominantShare:
+    def test_cpu_dominant(self):
+        assert dominant_share(50.0, 10.0, 100.0, 100.0) == 0.5
+
+    def test_mem_dominant(self):
+        assert dominant_share(10.0, 80.0, 100.0, 100.0) == 0.8
+
+    def test_zero_allocation(self):
+        assert dominant_share(0.0, 0.0, 100.0, 100.0) == 0.0
+
+    def test_rejects_zero_totals(self):
+        with pytest.raises(ValueError):
+            dominant_share(1.0, 1.0, 0.0, 100.0)
+
+    @given(
+        cpu=st.floats(min_value=0, max_value=100),
+        mem=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_is_max_of_per_resource_shares(self, cpu, mem):
+        share = dominant_share(cpu, mem, 100.0, 200.0)
+        assert share == pytest.approx(max(cpu / 100.0, mem / 200.0))
+
+
+class TestPickNext:
+    def test_picks_lowest_share(self):
+        shares = {"a": 0.5, "b": 0.1, "c": 0.3}
+        assert pick_next_framework(["a", "b", "c"], shares) == "b"
+
+    def test_tie_goes_to_first_listed(self):
+        shares = {"a": 0.2, "b": 0.2}
+        assert pick_next_framework(["a", "b"], shares) == "a"
+        assert pick_next_framework(["b", "a"], shares) == "b"
+
+    def test_missing_share_treated_as_zero(self):
+        shares = {"a": 0.5}
+        assert pick_next_framework(["a", "newcomer"], shares) == "newcomer"
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            pick_next_framework([], {})
+
+    def test_single_candidate(self):
+        assert pick_next_framework(["only"], {"only": 0.9}) == "only"

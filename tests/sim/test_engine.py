@@ -1,0 +1,124 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestScheduling:
+    def test_at_runs_callback_at_time(self, sim):
+        seen = []
+        sim.at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_after_is_relative_to_now(self, sim):
+        seen = []
+        sim.at(3.0, lambda: sim.after(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_into_the_past(self, sim):
+        sim.at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before now"):
+            sim.at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError, match="negative"):
+            sim.after(-1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self, sim):
+        seen = []
+        event = sim.at(1.0, lambda: seen.append("x"))
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_events_pass_args(self, sim):
+        seen = []
+        sim.at(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+        sim.run()
+        assert seen == [(1, "two")]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        fired = []
+        sim.at(1.0, fired.append, "a")
+        sim.at(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+
+    def test_event_exactly_at_until_runs(self, sim):
+        fired = []
+        sim.at(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_resumes_after_until(self, sim):
+        fired = []
+        sim.at(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_events_limits_processing(self, sim):
+        fired = []
+        for i in range(10):
+            sim.at(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_processed_counter(self, sim):
+        for i in range(4):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_simulator_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.at(1.0, reenter)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            sim.run()
+
+    def test_time_never_goes_backwards(self, sim):
+        observed = []
+        for t in (3.0, 1.0, 2.0, 1.0):
+            sim.at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestEvery:
+    def test_every_fires_periodically(self, sim):
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), until=10.0)
+        sim.run()
+        assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_every_without_until_runs_with_horizon(self, sim):
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_every_rejects_nonpositive_interval(self, sim):
+        with pytest.raises(SimulationError, match="positive"):
+            sim.every(0.0, lambda: None)
+
+    def test_start_time_offsets_clock(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        seen = []
+        sim.after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [105.0]

@@ -1,0 +1,112 @@
+"""Tests for the event queue: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, fired.append, "c")
+        queue.push(1.0, fired.append, "a")
+        queue.push(2.0, fired.append, "b")
+        while (event := queue.pop()) is not None:
+            event.fn(*event.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_push_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in range(10):
+            queue.push(5.0, order.append, tag)
+        while (event := queue.pop()) is not None:
+            event.fn(*event.args)
+        assert order == list(range(10))
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty_queue(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_queue(self):
+        assert EventQueue().pop() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_pop_order_is_sorted_for_any_times(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event.time)
+        assert popped == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: "keep")
+        drop = queue.push(0.5, lambda: "drop")
+        queue.cancel(drop)
+        event = queue.pop()
+        assert event is keep
+        assert queue.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        queue.cancel(events[2])
+        assert len(queue) == 4
+        queue.pop()
+        assert len(queue) == 3
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        event = queue.push(1.0, lambda: None)
+        assert queue
+        queue.cancel(event)
+        assert not queue
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+
+class TestEventValidation:
+    def test_nan_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            queue.push(float("nan"), lambda: None)
+
+    def test_event_repr_mentions_state(self):
+        event = Event(1.0, 0, lambda: None, ())
+        assert "t=1.0" in repr(event)
+        event.cancelled = True
+        assert "cancelled" in repr(event)
+
+    def test_event_comparison_uses_time_then_seq(self):
+        early = Event(1.0, 5, lambda: None, ())
+        late = Event(2.0, 1, lambda: None, ())
+        assert early < late
+        tie_a = Event(1.0, 1, lambda: None, ())
+        tie_b = Event(1.0, 2, lambda: None, ())
+        assert tie_a < tie_b

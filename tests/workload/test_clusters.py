@@ -1,0 +1,152 @@
+"""Tests for the cluster presets and their paper-shape properties."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload.clusters import (
+    CLUSTER_A,
+    CLUSTER_B,
+    CLUSTER_C,
+    CLUSTER_D,
+    PRESETS,
+    TRACE_WINDOW,
+    preset_by_name,
+)
+
+
+class TestPresetLookup:
+    def test_all_four_clusters_defined(self):
+        assert sorted(PRESETS) == ["A", "B", "C", "D"]
+
+    def test_lookup_case_insensitive(self):
+        assert preset_by_name("a") is CLUSTER_A
+        assert preset_by_name(" B ") is CLUSTER_B
+
+    def test_unknown_cluster(self):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            preset_by_name("Z")
+
+
+class TestPresetShapes:
+    def test_relative_sizes(self):
+        """B is one of the larger clusters; D is about a quarter of C."""
+        assert CLUSTER_B.num_machines > CLUSTER_A.num_machines
+        assert CLUSTER_B.num_machines > CLUSTER_C.num_machines
+        assert CLUSTER_D.num_machines == pytest.approx(
+            CLUSTER_C.num_machines / 4, rel=0.05
+        )
+
+    def test_d_is_lightly_loaded(self):
+        assert CLUSTER_D.initial_utilization < CLUSTER_A.initial_utilization
+
+    def test_batch_dominates_job_counts(self):
+        """>80 % of jobs are batch (paper section 2.1)."""
+        for preset in PRESETS.values():
+            total = preset.batch.arrival_rate + preset.service.arrival_rate
+            assert preset.batch.arrival_rate / total > 0.8
+
+    def test_service_tasks_fewer_than_batch(self):
+        """Service jobs have fewer tasks than batch jobs (Figure 4)."""
+        for preset in PRESETS.values():
+            assert (
+                preset.service.tasks_per_job.mean() < preset.batch.tasks_per_job.mean()
+            )
+
+    def test_service_runs_much_longer(self):
+        """Service durations dwarf batch durations (Figure 3)."""
+        for preset in PRESETS.values():
+            assert (
+                preset.service.task_duration.mean()
+                > 20 * preset.batch.task_duration.mean()
+            )
+
+    def test_offered_batch_load_fits_capacity(self):
+        """Steady-state batch demand must fit the cell with the 60 %
+        fill, or the simulators measure resource exhaustion instead of
+        scheduler behaviour."""
+        for preset in PRESETS.values():
+            headroom = preset.total_cpu * (1.0 - preset.initial_utilization)
+            assert preset.batch.mean_offered_cpu() < headroom
+
+    def test_saturation_ordering_a_b_c(self):
+        """Figure 8's dashed lines: batch schedulers saturate in the
+        order A (~2.5x) < B (~6x) < C (~9.5x). Saturation is where
+        busyness = rate x mean decision time reaches 1."""
+        saturation = {}
+        for preset in (CLUSTER_A, CLUSTER_B, CLUSTER_C):
+            busyness = preset.batch.arrival_rate * preset.batch.mean_decision_time(
+                t_job=0.1, t_task=0.005
+            )
+            saturation[preset.name] = 1.0 / busyness
+        assert saturation["A"] < saturation["B"] < saturation["C"]
+        assert 2.0 < saturation["A"] < 3.5
+        assert 4.5 < saturation["B"] < 7.5
+        assert 8.0 < saturation["C"] < 11.0
+
+
+class TestCharacterizationShapes:
+    """Monte Carlo checks of the Figure 2-4 distribution claims."""
+
+    @pytest.fixture(scope="class")
+    def samples(self):
+        rng = RandomStreams(0).stream("preset-shape-tests")
+        char = CLUSTER_A.characterization
+        n = 40_000
+        return {
+            "batch_runtime": char.batch_runtime.sample_many(rng, n),
+            "service_runtime": char.service_runtime.sample_many(rng, n),
+            "batch_tasks": char.batch_tasks.sample_many(rng, n),
+            "service_tasks": char.service_tasks.sample_many(rng, n),
+            "char": char,
+        }
+
+    def test_service_tail_beyond_trace_window(self, samples):
+        """Some service jobs outlive the 30-day window (Figure 3)."""
+        tail = (samples["service_runtime"] > TRACE_WINDOW).mean()
+        assert 0.03 < tail < 0.20
+
+    def test_batch_runtime_within_window(self, samples):
+        assert (samples["batch_runtime"] <= TRACE_WINDOW).mean() > 0.999
+
+    def test_service_resource_majority(self, samples):
+        """Service holds 55-80 % of requested CPU-core-seconds."""
+        char = samples["char"]
+        batch = (
+            char.batch_arrival_rate
+            * samples["batch_tasks"].mean()
+            * char.batch_cpu.mean()
+            * np.minimum(samples["batch_runtime"], TRACE_WINDOW).mean()
+        )
+        service = (
+            char.service_arrival_rate
+            * samples["service_tasks"].mean()
+            * char.service_cpu.mean()
+            * np.minimum(samples["service_runtime"], TRACE_WINDOW).mean()
+        )
+        share = service / (batch + service)
+        assert 0.55 < share < 0.80
+
+
+class TestScaling:
+    def test_scaled_preserves_load_ratio(self):
+        scaled = CLUSTER_B.scaled(0.5)
+        ratio = scaled.batch.arrival_rate / CLUSTER_B.batch.arrival_rate
+        assert ratio == pytest.approx(scaled.num_machines / CLUSTER_B.num_machines)
+
+    def test_scaled_rounds_machines(self):
+        scaled = CLUSTER_A.scaled(0.1)
+        assert scaled.num_machines == 150
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CLUSTER_A.scaled(0.0)
+
+    def test_rate_factor_positive(self):
+        with pytest.raises(ValueError):
+            CLUSTER_A.batch.scaled_rate(-1.0)
+
+    def test_cell_matches_preset(self):
+        cell = CLUSTER_D.cell()
+        assert cell.num_machines == CLUSTER_D.num_machines
+        assert cell.total_cpu == CLUSTER_D.total_cpu

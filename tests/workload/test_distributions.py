@@ -1,0 +1,166 @@
+"""Tests for distribution samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.distributions import (
+    Constant,
+    DiscretizedLogNormal,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Sampler,
+    Uniform,
+    WeightedChoice,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestConstant:
+    def test_always_value(self, rng):
+        sampler = Constant(3.5)
+        assert sampler.sample(rng) == 3.5
+        assert (sampler.sample_many(rng, 10) == 3.5).all()
+        assert sampler.mean() == 3.5
+
+
+class TestExponential:
+    def test_mean_matches_rate(self, rng):
+        sampler = Exponential(rate=0.5)
+        samples = sampler.sample_many(rng, 20000)
+        assert samples.mean() == pytest.approx(2.0, rel=0.05)
+        assert sampler.mean() == 2.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_samples_positive(self, rng):
+        assert (Exponential(2.0).sample_many(rng, 1000) > 0).all()
+
+
+class TestLogNormal:
+    def test_median_parameterization(self, rng):
+        sampler = LogNormal(median=100.0, sigma=1.5)
+        samples = sampler.sample_many(rng, 20000)
+        assert np.median(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_analytic_mean(self, rng):
+        sampler = LogNormal(median=10.0, sigma=0.5)
+        samples = sampler.sample_many(rng, 50000)
+        assert samples.mean() == pytest.approx(sampler.mean(), rel=0.05)
+
+    def test_clipping(self, rng):
+        sampler = LogNormal(median=1.0, sigma=2.0, low=0.5, high=2.0)
+        samples = sampler.sample_many(rng, 1000)
+        assert samples.min() >= 0.5
+        assert samples.max() <= 2.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(median=-1.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LogNormal(median=1.0, sigma=-1.0)
+        with pytest.raises(ValueError):
+            LogNormal(median=1.0, sigma=1.0, low=2.0, high=1.0)
+
+    def test_zero_sigma_is_constant(self, rng):
+        sampler = LogNormal(median=5.0, sigma=0.0)
+        assert np.allclose(sampler.sample_many(rng, 100), 5.0)
+
+
+class TestDiscretizedLogNormal:
+    def test_integral_samples_with_floor(self, rng):
+        sampler = DiscretizedLogNormal(median=2.0, sigma=2.0, low=1)
+        samples = sampler.sample_many(rng, 5000)
+        assert (samples >= 1).all()
+        assert (samples == np.rint(samples)).all()
+
+    def test_high_cap(self, rng):
+        sampler = DiscretizedLogNormal(median=100.0, sigma=2.0, low=1, high=500)
+        assert sampler.sample_many(rng, 5000).max() <= 500
+
+    def test_heavy_tail_reaches_thousands(self, rng):
+        """The Figure 4 property: tasks-per-job tails reach thousands."""
+        sampler = DiscretizedLogNormal(median=10, sigma=1.5, low=1, high=20000)
+        samples = sampler.sample_many(rng, 100_000)
+        assert np.percentile(samples, 99.9) > 500
+        assert samples.max() > 1000
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            DiscretizedLogNormal(median=5, sigma=1, low=0)
+        with pytest.raises(ValueError):
+            DiscretizedLogNormal(median=5, sigma=1, low=10, high=5)
+
+
+class TestUniformAndChoice:
+    def test_uniform_bounds(self, rng):
+        sampler = Uniform(2.0, 4.0)
+        samples = sampler.sample_many(rng, 1000)
+        assert samples.min() >= 2.0 and samples.max() < 4.0
+        assert sampler.mean() == 3.0
+
+    def test_weighted_choice_respects_weights(self, rng):
+        sampler = WeightedChoice([1.0, 2.0], [0.9, 0.1])
+        samples = sampler.sample_many(rng, 10000)
+        assert (samples == 1.0).mean() == pytest.approx(0.9, abs=0.02)
+        assert sampler.mean() == pytest.approx(1.1)
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError):
+            WeightedChoice([1.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            WeightedChoice([], [])
+        with pytest.raises(ValueError):
+            WeightedChoice([1.0], [-1.0])
+
+
+class TestMixture:
+    def test_mixture_mean(self, rng):
+        mixture = Mixture([Constant(0.0), Constant(10.0)], [0.5, 0.5])
+        assert mixture.mean() == 5.0
+        samples = mixture.sample_many(rng, 10000)
+        assert samples.mean() == pytest.approx(5.0, abs=0.3)
+
+    def test_single_component(self, rng):
+        mixture = Mixture([Constant(2.0)], [1.0])
+        assert mixture.sample(rng) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Mixture([Constant(1)], [1.0, 2.0])
+
+
+class TestSamplerProtocol:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            Constant(1.0),
+            Exponential(1.0),
+            LogNormal(1.0, 1.0),
+            DiscretizedLogNormal(2.0, 1.0),
+            Uniform(0.0, 1.0),
+            WeightedChoice([1.0], [1.0]),
+            Mixture([Constant(1.0)], [1.0]),
+        ],
+    )
+    def test_implements_protocol(self, sampler):
+        assert isinstance(sampler, Sampler)
+
+    @given(
+        median=st.floats(min_value=0.1, max_value=1e4),
+        sigma=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lognormal_samples_always_positive(self, median, sigma):
+        rng = np.random.default_rng(0)
+        samples = LogNormal(median, sigma).sample_many(rng, 100)
+        assert (samples > 0).all()

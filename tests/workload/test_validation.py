@@ -1,0 +1,79 @@
+"""Tests for preset sanity validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.workload.clusters import CLUSTER_A, CLUSTER_B, CLUSTER_C, PRESETS
+from repro.workload.validation import validate_all, validate_preset
+
+
+class TestPresetReports:
+    def test_all_registered_presets_clean(self):
+        reports = validate_all()
+        assert len(reports) == len(PRESETS)
+        for report in reports:
+            assert report.ok, f"{report.name}: {report.warnings}"
+
+    def test_saturation_estimates_match_paper(self):
+        """Figure 8's dashed lines, derived analytically: A ~2.5x,
+        B ~6x, C ~9.5x."""
+        estimates = {
+            preset.name: validate_preset(preset).saturation_factor_estimate
+            for preset in (CLUSTER_A, CLUSTER_B, CLUSTER_C)
+        }
+        assert estimates["A"] == pytest.approx(2.5, abs=0.5)
+        assert estimates["B"] == pytest.approx(6.0, abs=1.0)
+        assert estimates["C"] == pytest.approx(9.5, abs=1.0)
+
+    def test_as_row_format(self):
+        row = validate_preset(CLUSTER_A).as_row()
+        assert row["cluster"] == "A"
+        assert row["warnings"] == "-"
+
+
+class TestWarnings:
+    def test_overloaded_batch_flagged(self):
+        hot = dataclasses.replace(
+            CLUSTER_A,
+            batch=CLUSTER_A.batch.scaled_rate(20.0),
+            name="hot",
+        )
+        report = validate_preset(hot)
+        assert any("exceeds headroom" in warning for warning in report.warnings)
+        assert any("saturated at 1x" in warning for warning in report.warnings)
+        assert not report.ok
+
+    def test_idle_batch_flagged(self):
+        idle = dataclasses.replace(
+            CLUSTER_A,
+            batch=CLUSTER_A.batch.scaled_rate(0.01),
+            name="idle",
+        )
+        report = validate_preset(idle)
+        assert any("nearly idle" in warning for warning in report.warnings)
+
+    def test_service_dominated_jobs_flagged(self):
+        lopsided = dataclasses.replace(
+            CLUSTER_A,
+            service=CLUSTER_A.service.scaled_rate(200.0),
+            name="lopsided",
+        )
+        report = validate_preset(lopsided)
+        assert any("of jobs" in warning for warning in report.warnings)
+
+    def test_oversaturated_service_flagged(self):
+        frantic = dataclasses.replace(
+            CLUSTER_A,
+            service=CLUSTER_A.service.scaled_rate(10.0),
+            name="frantic",
+        )
+        report = validate_preset(frantic)
+        assert any("oversaturated" in warning for warning in report.warnings)
+
+    def test_cli_validate_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["validate"]) == 0
+        output = capsys.readouterr().out
+        assert "saturation_est" in output
