@@ -20,13 +20,17 @@ Usage::
 
 import sys
 
-from repro import CLUSTER_A, DecisionTimeModel, JobType, LightweightConfig, run_lightweight
+from repro import CLUSTER_A, DecisionTimeModel, JobType, LightweightConfig, obs, run_lightweight
 from repro.experiments.common import ARCHITECTURES, format_table
 
 
 def main() -> None:
     t_job_service = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
     preset = CLUSTER_A.scaled(0.2)
+    # One trace recorder across all five architectures: the per-run
+    # `run.start` markers and scheduler names keep the records apart.
+    recorder = obs.TraceRecorder()
+    obs.set_recorder(recorder)
     rows = []
     for architecture in ARCHITECTURES:
         result = run_lightweight(
@@ -55,6 +59,19 @@ def main() -> None:
         "\nNote how the shared-state row keeps batch wait times low and "
         "abandons nothing even with slow service decisions."
     )
+    obs.reset_recorder()
+
+    summary = obs.TraceSummary.from_records(recorder.records)
+    print(
+        f"\ntrace: {recorder.records_emitted} records across "
+        f"{summary.runs} runs; per-scheduler busy time:"
+    )
+    for name in summary.scheduler_names():
+        entry = summary.schedulers[name]
+        print(
+            f"  {name:22s} busy {entry.busy_seconds:8.1f} s, "
+            f"{entry.txn_conflicted} conflicted txns"
+        )
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from repro.experiments import (
     LightweightSimulation,
     run_lightweight,
 )
+from repro import obs
 from repro.hifi import HighFidelityConfig, run_hifi, synthesize_trace
 from repro.metrics import MetricsCollector
 from repro.schedulers import DecisionTimeModel
@@ -68,6 +69,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # cluster + workload
     "Cell",
     "Machine",

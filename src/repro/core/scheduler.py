@@ -29,6 +29,7 @@ from repro.core.cellstate import CellSnapshot, CellState
 from repro.core.placement import randomized_first_fit
 from repro.core.transaction import Claim, CommitMode, ConflictMode, commit
 from repro.metrics import MetricsCollector
+from repro.obs import recorder as _obs
 from repro.schedulers.base import DecisionTimeModel, QueueScheduler
 from repro.sim import Simulator
 from repro.workload.job import Job, JobType
@@ -115,6 +116,18 @@ class OmegaScheduler(QueueScheduler):
     def begin_attempt(self, job: Job) -> None:
         """Sync: refresh the private copy of cell state."""
         self._snapshot = self.state.snapshot(self.sim.now)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            # "The time from state synchronization to the commit attempt
+            # is a transaction" — this marks its start.
+            rec.event(
+                "txn.begin",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                unplaced=job.unplaced_tasks,
+            )
 
     def _mask_hot_machines(self, snapshot: CellSnapshot) -> None:
         """Blank out recently-conflicted machines in the private copy.
@@ -150,18 +163,23 @@ class OmegaScheduler(QueueScheduler):
             self._mask_hot_machines(snapshot)
         claims = self._placement(snapshot, job, self._rng)
 
+        rec = _obs.RECORDER
         if self.commit_mode is CommitMode.ALL_OR_NOTHING:
             planned = sum(claim.count for claim in claims)
             if planned < job.unplaced_tasks:
                 # Gang scheduling needs room for every task; the private
                 # copy showed too little, so no transaction is issued.
                 # No hoarding: the resources stay usable by others.
+                if rec.enabled:
+                    rec.event("txn.skipped", reason="gang_insufficient_plan")
                 self._resolve_attempt(job, had_conflict=False)
                 return
 
         if not claims:
             # "Assuming at least one task got scheduled, a transaction
             # ... is issued" — nothing could be planned, so no commit.
+            if rec.enabled:
+                rec.event("txn.skipped", reason="no_placement")
             self._resolve_attempt(job, had_conflict=False)
             return
 

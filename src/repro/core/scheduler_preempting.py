@@ -22,6 +22,7 @@ from repro.core.placement import randomized_first_fit
 from repro.core.preemption import AllocationLedger, commit_with_preemption
 from repro.core.scheduler import OmegaScheduler
 from repro.core.transaction import CommitMode, ConflictMode
+from repro.obs import recorder as _obs
 from repro.metrics import MetricsCollector
 from repro.schedulers.base import DecisionTimeModel
 from repro.sim import Simulator
@@ -84,20 +85,48 @@ class PreemptingOmegaScheduler(OmegaScheduler):
             job.unplaced_tasks,
             self._rng,
         )
+        rec = _obs.RECORDER
         gang = self.commit_mode is CommitMode.ALL_OR_NOTHING
         if gang and sum(claim.count for claim in claims) < job.unplaced_tasks:
             # Gang scheduling: the plan must cover every task; no
             # hoarding while waiting ("allow other schedulers' jobs to
             # use the resources in the meantime").
+            if rec.enabled:
+                rec.event("txn.skipped", reason="gang_insufficient_plan")
             self._resolve_attempt(job, had_conflict=False)
             return
         if not claims:
+            if rec.enabled:
+                rec.event("txn.skipped", reason="no_placement")
             self._resolve_attempt(job, had_conflict=False)
             return
+        if rec.enabled:
+            rec.event(
+                "txn.validate",
+                claims=len(claims),
+                tasks=sum(claim.count for claim in claims),
+                preempting=True,
+                commit_mode=self.commit_mode.value,
+            )
         accepted, rejected, preempted = commit_with_preemption(
             self.state, self.ledger, claims, job.precedence, all_or_nothing=gang
         )
         conflicted = bool(rejected)
+        if rec.enabled:
+            for claim in rejected:
+                rec.event(
+                    "txn.conflict",
+                    machine=claim.machine,
+                    tasks=claim.count,
+                    cause="capacity",
+                )
+            rec.event(
+                "txn.commit",
+                accepted=sum(claim.count for claim in accepted),
+                rejected=sum(claim.count for claim in rejected),
+                conflicted=conflicted,
+                preempted_tasks=preempted,
+            )
         self.metrics.record_commit(self.name, conflicted, self.sim.now)
         if preempted:
             self.metrics.record_preemption_caused(self.name, preempted)

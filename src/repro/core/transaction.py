@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass, replace
 
 from repro.core.cellstate import EPSILON, CellSnapshot, CellState
+from repro.obs import recorder as _obs
 
 
 class ConflictMode(enum.Enum):
@@ -116,6 +117,17 @@ def commit(
     if not claims:
         return CommitResult(accepted=(), rejected=())
 
+    rec = _obs.RECORDER
+    tracing = rec.enabled
+    if tracing:
+        rec.event(
+            "txn.validate",
+            claims=len(claims),
+            tasks=sum(claim.count for claim in claims),
+            conflict_mode=conflict_mode.value,
+            commit_mode=commit_mode.value,
+        )
+
     accepted: list[Claim] = []
     rejected: list[Claim] = []
 
@@ -126,6 +138,13 @@ def commit(
             # Coarse-grained: any change to the machine since sync is a
             # conflict, even if the claim would still fit.
             rejected.append(claim)
+            if tracing:
+                rec.event(
+                    "txn.conflict",
+                    machine=claim.machine,
+                    tasks=claim.count,
+                    cause="stale_sequence",
+                )
             continue
         ok = _acceptable_count(state, claim)
         if ok >= claim.count:
@@ -133,13 +152,43 @@ def commit(
         elif ok > 0 and commit_mode is CommitMode.INCREMENTAL:
             accepted.append(replace(claim, count=ok))
             rejected.append(replace(claim, count=claim.count - ok))
+            if tracing:
+                rec.event(
+                    "txn.conflict",
+                    machine=claim.machine,
+                    tasks=claim.count - ok,
+                    cause="partial_capacity",
+                )
         else:
             rejected.append(claim)
+            if tracing:
+                rec.event(
+                    "txn.conflict",
+                    machine=claim.machine,
+                    tasks=claim.count,
+                    cause="capacity",
+                )
 
     if commit_mode is CommitMode.ALL_OR_NOTHING and rejected:
         # Gang scheduling: one conflict rejects the entire transaction.
+        if tracing:
+            rec.event(
+                "txn.commit",
+                accepted=0,
+                rejected=sum(claim.count for claim in claims),
+                conflicted=True,
+                gang_aborted=True,
+            )
         return CommitResult(accepted=(), rejected=tuple(claims))
 
     for claim in accepted:
         state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
-    return CommitResult(accepted=tuple(accepted), rejected=tuple(rejected))
+    result = CommitResult(accepted=tuple(accepted), rejected=tuple(rejected))
+    if tracing:
+        rec.event(
+            "txn.commit",
+            accepted=result.accepted_tasks,
+            rejected=result.rejected_tasks,
+            conflicted=result.conflicted,
+        )
+    return result

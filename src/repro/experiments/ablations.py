@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
-from repro.experiments.common import DAY, LightweightConfig, run_lightweight
+from repro.experiments.common import LightweightConfig, run_lightweight
 from repro.experiments.mesos import pathology_preset
 from repro.experiments.sweeps import result_row
 from repro.schedulers.base import DecisionTimeModel

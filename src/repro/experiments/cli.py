@@ -9,14 +9,22 @@ Examples::
 Every command prints the same rows the corresponding benchmark emits;
 ``--scale`` shrinks the cell (and arrival rates with it), ``--hours``
 sets the simulated horizon.
+
+Observability (see ``docs/OBSERVABILITY.md``): every command accepts
+``--trace FILE`` to record a structured JSONL trace of the run and
+``--verbose`` to print engine statistics; ``omega-sim trace FILE``
+summarizes a recorded trace (per-scheduler conflict fractions,
+busy-time breakdown, conflict timelines, retry chains).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
+from repro import obs
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
@@ -270,14 +278,88 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="also save the rows to FILE (.json or .csv)",
         )
+        sub.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="record a structured JSONL trace of every simulation run "
+            "(summarize it later with `omega-sim trace FILE`)",
+        )
+        sub.add_argument(
+            "--verbose",
+            action="store_true",
+            help="also print simulator engine statistics "
+            "(events processed, peak queue depth, wall seconds)",
+        )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarize a JSONL trace recorded with --trace: per-scheduler "
+        "conflict fraction, busy-time breakdown, conflict timelines, "
+        "retry chains",
+    )
+    trace_parser.add_argument("file", help="JSONL trace file to summarize")
+    trace_parser.add_argument(
+        "--jobs", type=int, default=5, help="retry chains to show (longest first)"
+    )
+    trace_parser.add_argument(
+        "--bins", type=int, default=12, help="conflict-timeline bins"
+    )
     return parser
+
+
+def _verbose_stats_table() -> str:
+    """Engine statistics accumulated over every run of this command."""
+    snapshot = obs.get_registry().snapshot(prefix="sim.")
+    rows = [{"stat": name, "value": value} for name, value in snapshot.items()]
+    if not rows:
+        return "(no simulator statistics recorded)"
+    return format_table(rows)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        summary = obs.summarize_file(args.file)
+        report = summary.render(top_jobs=args.jobs, bins=args.bins)
+    except (OSError, ValueError) as exc:
+        print(f"omega-sim trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(report)
+    except BrokenPipeError:
+        # Reports are long; piping into `head`/`less -F` is routine.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args)
     command, _ = COMMANDS[args.command]
-    rows = command(args)
+
+    recorder = None
+    if getattr(args, "trace", None):
+        try:
+            recorder = obs.TraceRecorder(path=args.trace, keep_records=False)
+        except OSError as exc:
+            print(f"omega-sim: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+        obs.set_recorder(recorder)
+    try:
+        rows = command(args)
+    finally:
+        if recorder is not None:
+            obs.reset_recorder()
+            recorder.close()
+            print(
+                f"trace: {recorder.records_emitted} records written to {args.trace}",
+                file=sys.stderr,
+            )
     print(format_table(rows))
+    if getattr(args, "verbose", False):
+        print()
+        print("simulator statistics:")
+        print(_verbose_stats_table())
     if getattr(args, "output", None):
         saved = save_rows(
             rows,

@@ -22,6 +22,8 @@ from repro.core.scheduler_preempting import PreemptingOmegaScheduler
 from repro.core.transaction import CommitMode, ConflictMode
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
+from repro.obs import recorder as _obs
+from repro.obs.registry import publish_sim_stats
 from repro.schedulers.base import DecisionTimeModel
 from repro.schedulers.mesos import MesosAllocator, MesosFramework
 from repro.schedulers.monolithic import MonolithicScheduler
@@ -363,7 +365,19 @@ class LightweightSimulation:
     def run(self) -> LightweightResult:
         if not self._built:
             self.build()
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "run.start",
+                t=self.sim.now,
+                architecture=self.config.architecture,
+                horizon=self.config.horizon,
+                seed=self.config.seed,
+                cluster=self.config.preset.name,
+            )
         self.sim.run(until=self.config.horizon)
+        stats = self.sim.stats()
+        publish_sim_stats(stats)
         return LightweightResult(
             metrics=self.metrics,
             horizon=self.config.horizon,
@@ -375,6 +389,7 @@ class LightweightSimulation:
             final_cpu_utilization=self.cpu_utilization(),
             utilization_series=self.utilization_series,
             events_processed=self.sim.events_processed,
+            sim_stats=stats,
             config=self.config,
         )
 

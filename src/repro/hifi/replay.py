@@ -30,6 +30,8 @@ from repro.hifi.placement import ScoringPlacer
 from repro.hifi.trace import Trace, TraceJob
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
+from repro.obs import recorder as _obs
+from repro.obs.registry import publish_sim_stats
 from repro.schedulers.base import DecisionTimeModel
 from repro.sim import RandomStreams, Simulator
 from repro.workload.job import Job, JobType, reset_job_ids
@@ -169,6 +171,16 @@ class HighFidelitySimulation:
             duration=trace_job.duration,
             constraints=trace_job.constraints,
         )
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "hifi.job_submitted",
+                t=self.sim.now,
+                job=job.job_id,
+                job_type=job.job_type.value,
+                tasks=job.num_tasks,
+                constrained=bool(job.constraints),
+            )
         if job.job_type is JobType.BATCH:
             self.pool.submit(job)
         else:
@@ -178,7 +190,18 @@ class HighFidelitySimulation:
         if not self._built:
             self.build()
         horizon = self.config.effective_horizon
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "run.start",
+                t=self.sim.now,
+                architecture="hifi-omega",
+                horizon=horizon,
+                seed=self.config.seed,
+            )
         self.sim.run(until=horizon)
+        stats = self.sim.stats()
+        publish_sim_stats(stats)
         return HighFidelityResult(
             metrics=self.metrics,
             horizon=horizon,
@@ -189,6 +212,7 @@ class HighFidelitySimulation:
             jobs_abandoned=self.metrics.jobs_abandoned_total,
             final_cpu_utilization=self.state.cpu_utilization,
             events_processed=self.sim.events_processed,
+            sim_stats=stats,
             config=self.config,
         )
 

@@ -17,6 +17,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.metrics.stats import mad, median, percentile
+from repro.obs.registry import MetricsRegistry
 from repro.workload.job import Job, JobType
 
 
@@ -44,7 +45,9 @@ class SchedulerMetrics:
 class MetricsCollector:
     """Collects and aggregates the paper's evaluation metrics."""
 
-    def __init__(self, period: float = 86400.0) -> None:
+    def __init__(
+        self, period: float = 86400.0, registry: MetricsRegistry | None = None
+    ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self.period = period
@@ -57,6 +60,30 @@ class MetricsCollector:
         self.jobs_scheduled_total = 0
         self.jobs_abandoned_total = 0
         self.tasks_scheduled_total = 0
+        #: Low-level counter/histogram mirror of everything recorded
+        #: here (see :mod:`repro.obs.registry`). Private per collector
+        #: by default so concurrent runs do not pollute each other;
+        #: pass a shared registry to aggregate across runs.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Hot-path cache: avoids rebuilding registry label keys on
+        # every record_busy/record_commit call.
+        self._registry_cache: dict[tuple[str, str], object] = {}
+
+    def _counter(self, name: str, scheduler: str):
+        key = (name, scheduler)
+        metric = self._registry_cache.get(key)
+        if metric is None:
+            metric = self.registry.counter(name, scheduler=scheduler)
+            self._registry_cache[key] = metric
+        return metric
+
+    def _histogram(self, name: str, scheduler: str):
+        key = (name, scheduler)
+        metric = self._registry_cache.get(key)
+        if metric is None:
+            metric = self.registry.histogram(name, scheduler=scheduler)
+            self._registry_cache[key] = metric
+        return metric
 
     # ------------------------------------------------------------------
     # Recording (called by schedulers)
@@ -79,14 +106,21 @@ class MetricsCollector:
 
     def record_submission(self, job: Job) -> None:
         self.jobs_submitted += 1
+        self.registry.counter("jobs.submitted").inc()
 
     def record_first_attempt(self, scheduler: str, job: Job) -> None:
         """Record the job's wait time the moment its first attempt starts."""
         wait = job.wait_time
         if wait is None:  # pragma: no cover - callers mark first; guard anyway
             return
+        if wait < 0:
+            raise ValueError(
+                f"negative wait time {wait} for job {job.job_id} "
+                f"(first attempt before submission?)"
+            )
         self._wait_times[job.job_type].append(wait)
         self._per_scheduler_waits[scheduler].append(wait)
+        self._histogram("jobs.wait_seconds", scheduler).observe(wait)
 
     def record_busy(
         self, scheduler: str, start: float, end: float, conflict_retry: bool = False
@@ -96,9 +130,15 @@ class MetricsCollector:
         ``conflict_retry`` marks rework caused by a commit conflict; it
         counts toward busyness but not toward the productive ("no
         conflicts") busyness approximation.
+
+        Negative times are rejected loudly: a negative ``start`` would
+        land in bucket -1 and silently corrupt every period aggregate.
         """
+        if start < 0:
+            raise ValueError(f"negative busy-interval start: {start}")
         if end < start:
             raise ValueError(f"busy interval ends before it starts: {start}..{end}")
+        self._counter("sched.busy_seconds", scheduler).inc(end - start)
         metrics = self.schedulers[scheduler]
         cursor = start
         while cursor < end:
@@ -112,35 +152,47 @@ class MetricsCollector:
 
     def record_commit(self, scheduler: str, conflicted: bool, time: float) -> None:
         """Record one transaction attempt and whether it conflicted."""
+        if time < 0:
+            raise ValueError(f"negative commit time: {time}")
         metrics = self.schedulers[scheduler]
         metrics.transactions_attempted += 1
+        self._counter("txn.attempted", scheduler).inc()
         if conflicted:
             metrics.conflicts[self._bucket(time)] += 1
+            self._counter("txn.conflicted", scheduler).inc()
         else:
             metrics.transactions_committed += 1
+            self._counter("txn.committed", scheduler).inc()
 
     def record_scheduled(self, scheduler: str, job: Job, time: float) -> None:
         """Record that a job finished scheduling (all tasks placed)."""
+        if time < 0:
+            raise ValueError(f"negative scheduling time: {time}")
         metrics = self.schedulers[scheduler]
         metrics.jobs_scheduled[self._bucket(time)] += 1
         self.jobs_scheduled_total += 1
         self.tasks_scheduled_total += job.num_tasks
+        self._counter("jobs.scheduled", scheduler).inc()
+        self._counter("tasks.scheduled", scheduler).inc(job.num_tasks)
 
     def record_abandoned(self, scheduler: str, job: Job) -> None:
         self.schedulers[scheduler].jobs_abandoned += 1
         self.jobs_abandoned_total += 1
+        self._counter("jobs.abandoned", scheduler).inc()
 
     def record_preemption_caused(self, preemptor: str, tasks: int) -> None:
         """``preemptor`` evicted ``tasks`` lower-precedence tasks."""
         if tasks < 0:
             raise ValueError(f"tasks must be >= 0, got {tasks}")
         self.schedulers[preemptor].preemptions_caused += tasks
+        self._counter("preemptions.caused", preemptor).inc(tasks)
 
     def record_preemption_victim(self, victim: str, tasks: int) -> None:
         """``victim`` lost ``tasks`` running tasks to preemption."""
         if tasks < 0:
             raise ValueError(f"tasks must be >= 0, got {tasks}")
         self.schedulers[victim].tasks_lost_to_preemption += tasks
+        self._counter("preemptions.suffered", victim).inc(tasks)
 
     # ------------------------------------------------------------------
     # Queries (called by experiments)

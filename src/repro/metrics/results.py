@@ -29,6 +29,9 @@ class RunSummary:
     final_cpu_utilization: float
     utilization_series: list[tuple[float, float, float]] = field(default_factory=list)
     events_processed: int = 0
+    #: Engine runtime statistics (:meth:`repro.sim.engine.Simulator.stats`):
+    #: events processed, peak queue depth, wall seconds, final sim time.
+    sim_stats: dict[str, float | int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Role-level accessors ("batch" / "service")

@@ -1,0 +1,88 @@
+"""Observability: structured tracing, metrics, and profiling.
+
+The paper's evaluation hinges on *per-decision* quantities — which
+commit conflicted, where a scheduler's busy time went, how many times a
+job retried — that end-of-run aggregates cannot explain. This package
+provides the three layers that make those visible:
+
+* :mod:`repro.obs.recorder` — a process-global trace recorder emitting
+  structured span/event records (simulated time *and* wall time,
+  scheduler id, job id, attempt number). The default recorder is a
+  no-op whose cost on instrumented hot paths is one attribute check.
+* :mod:`repro.obs.registry` — counters, gauges, and fixed-bucket
+  histograms with percentile estimation; the
+  :class:`~repro.metrics.collector.MetricsCollector` publishes its raw
+  counters here.
+* :mod:`repro.obs.profile` — per-callback wall-clock attribution for
+  the event loop ("top-N hottest callbacks").
+
+Traces export to JSONL (:mod:`repro.obs.export`) and summarize into
+conflict timelines, retry chains, and busy-time breakdowns
+(:mod:`repro.obs.summary`, surfaced as ``omega-sim trace``).
+
+Enable tracing around any run::
+
+    from repro import obs
+
+    recorder = obs.TraceRecorder(path="run.jsonl", keep_records=False)
+    obs.set_recorder(recorder)
+    try:
+        ...  # run any simulation
+    finally:
+        obs.reset_recorder()
+        recorder.close()
+
+See ``docs/OBSERVABILITY.md`` for the record schema and a walkthrough.
+"""
+
+from repro.obs.export import JsonlWriter, read_jsonl, write_jsonl
+from repro.obs.profile import CallbackProfiler, callback_name
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    get_recorder,
+    reset_recorder,
+    set_recorder,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    publish_sim_stats,
+    reset_registry,
+)
+from repro.obs.summary import TraceSummary, summarize_file
+
+__all__ = [
+    # recorder
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+    "Span",
+    "get_recorder",
+    "set_recorder",
+    "reset_recorder",
+    # registry
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "publish_sim_stats",
+    "reset_registry",
+    # profiling
+    "CallbackProfiler",
+    "callback_name",
+    # export + summary
+    "JsonlWriter",
+    "read_jsonl",
+    "write_jsonl",
+    "TraceSummary",
+    "summarize_file",
+]

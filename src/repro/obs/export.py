@@ -1,0 +1,71 @@
+"""JSONL (one JSON object per line) persistence for trace records.
+
+The trace format is deliberately boring: every record is a flat JSON
+object, written append-only, so traces survive crashed runs (every
+complete line is valid) and compose with standard tooling
+(``jq``, ``grep``, pandas' ``read_json(lines=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, TextIO
+
+
+class JsonlWriter:
+    """Streams records to a JSONL file as they are emitted."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file: TextIO | None = open(path, "w", encoding="utf-8")
+
+    def write(self, record: dict[str, Any]) -> None:
+        if self._file is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        """Close the underlying file; closing twice is a no-op."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+
+def write_jsonl(records: Iterable[dict[str, Any]], path: str) -> int:
+    """Write ``records`` to ``path``; returns the number written."""
+    count = 0
+    with JsonlWriter(path) as writer:
+        for record in records:
+            writer.write(record)
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Load every record from a JSONL trace file.
+
+    Blank lines are skipped; a malformed line raises :class:`ValueError`
+    naming the offending line number.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: trace record is not an object")
+            records.append(record)
+    return records

@@ -1,0 +1,341 @@
+"""Post-hoc analysis of recorded traces.
+
+Turns a stream of trace records (in memory or loaded from JSONL via
+:func:`repro.obs.export.read_jsonl`) into the run-level views the
+``omega-sim trace`` subcommand prints:
+
+* **per-scheduler rollup** — transaction attempts, conflicted commits,
+  conflict fraction (conflicted commits per scheduled job, matching
+  :meth:`MetricsCollector.overall_conflict_fraction`), busy time split
+  into productive work and conflict-retry rework;
+* **conflict timelines** — conflicted commits per simulated-time bin
+  per scheduler;
+* **retry chains** — the per-job sequence of attempts with outcomes,
+  ranked by length, which is how you answer "*why* did job 17 take 14
+  attempts?".
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class SchedulerSummary:
+    """Rollup of one scheduler's trace records."""
+
+    name: str
+    txn_attempts: int = 0
+    txn_conflicted: int = 0
+    conflict_claims: int = 0
+    busy_seconds: float = 0.0
+    busy_conflict_seconds: float = 0.0
+    jobs_scheduled: int = 0
+    jobs_abandoned: int = 0
+    offers_issued: int = 0
+    offers_accepted: int = 0
+    offers_declined: int = 0
+    conflict_times: list[float] = field(default_factory=list)
+
+    @property
+    def txn_committed(self) -> int:
+        return self.txn_attempts - self.txn_conflicted
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Conflicted commit attempts per successfully scheduled job."""
+        if self.jobs_scheduled == 0:
+            return float("nan")
+        return self.txn_conflicted / self.jobs_scheduled
+
+    @property
+    def productive_busy_seconds(self) -> float:
+        return self.busy_seconds - self.busy_conflict_seconds
+
+
+@dataclass
+class JobSummary:
+    """One job's path through the scheduler(s)."""
+
+    job_id: int
+    sched: str | None = None
+    attempts: int = 0
+    conflicts: int = 0
+    scheduled: bool = False
+    abandoned: bool = False
+    first_t: float | None = None
+    last_t: float | None = None
+    #: Chronological attempt log: ``{"t", "attempt", "outcome"}`` dicts.
+    chain: list[dict[str, Any]] = field(default_factory=list)
+
+    def _touch(self, t: float | None, sched: str | None, attempt: int | None) -> None:
+        if sched is not None:
+            self.sched = sched
+        if attempt is not None and attempt > self.attempts:
+            self.attempts = attempt
+        if t is not None:
+            if self.first_t is None or t < self.first_t:
+                self.first_t = t
+            if self.last_t is None or t > self.last_t:
+                self.last_t = t
+
+
+class TraceSummary:
+    """Aggregated view of one trace (possibly spanning several runs)."""
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.runs = 0
+        self.record_names: TallyCounter[str] = TallyCounter()
+        self.schedulers: dict[str, SchedulerSummary] = {}
+        self.jobs: dict[int, JobSummary] = {}
+        self.max_t = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[dict[str, Any]]) -> "TraceSummary":
+        summary = cls()
+        for record in records:
+            summary._ingest(record)
+        return summary
+
+    def _sched(self, name: str) -> SchedulerSummary:
+        entry = self.schedulers.get(name)
+        if entry is None:
+            entry = self.schedulers[name] = SchedulerSummary(name)
+        return entry
+
+    def _job(self, job_id: int) -> JobSummary:
+        entry = self.jobs.get(job_id)
+        if entry is None:
+            entry = self.jobs[job_id] = JobSummary(job_id)
+        return entry
+
+    def _ingest(self, record: dict[str, Any]) -> None:
+        self.records += 1
+        name = record.get("name", "?")
+        self.record_names[name] += 1
+        t = record.get("t")
+        if t is not None and t > self.max_t:
+            self.max_t = t
+        sched = record.get("sched")
+        job_id = record.get("job")
+        fields = record.get("fields") or {}
+
+        if name == "run.start":
+            self.runs += 1
+            return
+        if job_id is not None:
+            self._job(job_id)._touch(t, sched, record.get("attempt"))
+
+        if name == "txn.commit" and sched is not None:
+            entry = self._sched(sched)
+            entry.txn_attempts += 1
+            conflicted = bool(fields.get("conflicted"))
+            if conflicted:
+                entry.txn_conflicted += 1
+                if t is not None:
+                    entry.conflict_times.append(t)
+            if job_id is not None:
+                job = self._job(job_id)
+                if conflicted:
+                    job.conflicts += 1
+                job.chain.append(
+                    {
+                        "t": t,
+                        "attempt": record.get("attempt"),
+                        "outcome": "conflict" if conflicted else "commit",
+                        "accepted": fields.get("accepted"),
+                        "rejected": fields.get("rejected"),
+                    }
+                )
+        elif name == "txn.conflict" and sched is not None:
+            self._sched(sched).conflict_claims += 1
+        elif name == "sched.busy" and sched is not None:
+            start = fields.get("t0")
+            if t is not None and start is not None:
+                entry = self._sched(sched)
+                entry.busy_seconds += t - start
+                if fields.get("conflict_retry"):
+                    entry.busy_conflict_seconds += t - start
+        elif name == "job.scheduled":
+            if sched is not None:
+                self._sched(sched).jobs_scheduled += 1
+            if job_id is not None:
+                job = self._job(job_id)
+                job.scheduled = True
+                job.chain.append(
+                    {"t": t, "attempt": record.get("attempt"), "outcome": "scheduled"}
+                )
+        elif name == "job.abandoned":
+            if sched is not None:
+                self._sched(sched).jobs_abandoned += 1
+            if job_id is not None:
+                job = self._job(job_id)
+                job.abandoned = True
+                job.chain.append(
+                    {"t": t, "attempt": record.get("attempt"), "outcome": "abandoned"}
+                )
+        elif name == "mesos.offer_issued":
+            framework = fields.get("framework")
+            if framework is not None:
+                self._sched(framework).offers_issued += 1
+        elif name == "mesos.offer_accepted" and sched is not None:
+            self._sched(sched).offers_accepted += 1
+        elif name == "mesos.offer_declined" and sched is not None:
+            self._sched(sched).offers_declined += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def scheduler_names(self) -> list[str]:
+        return sorted(self.schedulers)
+
+    def conflict_fraction(self, scheduler: str) -> float:
+        return self._sched(scheduler).conflict_fraction
+
+    def busy_seconds(self, scheduler: str) -> float:
+        return self._sched(scheduler).busy_seconds
+
+    def conflict_timeline(
+        self, scheduler: str, bins: int = 12, horizon: float | None = None
+    ) -> list[tuple[float, int]]:
+        """Conflicted commits per time bin: ``[(bin_start, count), ...]``."""
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        span = horizon if horizon is not None else self.max_t
+        if span <= 0:
+            span = 1.0
+        width = span / bins
+        counts = [0] * bins
+        for t in self._sched(scheduler).conflict_times:
+            index = min(int(t / width), bins - 1)
+            counts[index] += 1
+        return [(i * width, counts[i]) for i in range(bins)]
+
+    def retry_chains(self, top_n: int = 5) -> list[JobSummary]:
+        """The ``top_n`` jobs with the most attempts, longest first."""
+        if top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        ranked = sorted(
+            self.jobs.values(), key=lambda j: (j.attempts, j.conflicts), reverse=True
+        )
+        return ranked[:top_n]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def scheduler_rows(self) -> list[dict[str, Any]]:
+        rows = []
+        for name in self.scheduler_names():
+            entry = self.schedulers[name]
+            rows.append(
+                {
+                    "scheduler": name,
+                    "txns": entry.txn_attempts,
+                    "conflicted": entry.txn_conflicted,
+                    "conflict_frac": entry.conflict_fraction,
+                    "jobs": entry.jobs_scheduled,
+                    "abandoned": entry.jobs_abandoned,
+                    "busy_s": entry.busy_seconds,
+                    "retry_busy_s": entry.busy_conflict_seconds,
+                }
+            )
+        return rows
+
+    def render(self, top_jobs: int = 5, bins: int = 12) -> str:
+        """The full ``omega-sim trace`` report as text."""
+        lines = [
+            f"trace summary: {self.records} records, "
+            f"{self.runs or 1} run(s), max sim time t={self.max_t:.1f}s"
+        ]
+        names = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.record_names.items())
+        )
+        lines.append(f"record counts: {names}")
+
+        if self.schedulers:
+            lines.append("")
+            lines.append("per-scheduler rollup:")
+            lines.append(_format_rows(self.scheduler_rows()))
+
+            timelines = [
+                (name, self.conflict_timeline(name, bins=bins))
+                for name in self.scheduler_names()
+                if self.schedulers[name].txn_conflicted
+            ]
+            if timelines:
+                lines.append("")
+                lines.append(f"conflict timeline (conflicted commits per {bins} bins):")
+                peak = max(
+                    count for _, timeline in timelines for _, count in timeline
+                )
+                for name, timeline in timelines:
+                    bars = "".join(
+                        _spark_char(count, peak) for _, count in timeline
+                    )
+                    total = sum(count for _, count in timeline)
+                    lines.append(f"  {name:<24} |{bars}| {total} conflicts")
+
+        chains = [job for job in self.retry_chains(top_jobs) if job.attempts > 0]
+        if chains:
+            lines.append("")
+            lines.append("longest retry chains:")
+            for job in chains:
+                status = (
+                    "scheduled"
+                    if job.scheduled
+                    else "abandoned"
+                    if job.abandoned
+                    else "in flight"
+                )
+                lines.append(
+                    f"  job {job.job_id} ({job.sched}): {job.attempts} attempts, "
+                    f"{job.conflicts} conflicts, {status}"
+                    + (f" at t={job.last_t:.1f}s" if job.last_t is not None else "")
+                )
+        return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def _spark_char(count: int, peak: int) -> str:
+    if peak <= 0 or count <= 0:
+        return _SPARK_LEVELS[0]
+    index = 1 + int((count / peak) * (len(_SPARK_LEVELS) - 2))
+    return _SPARK_LEVELS[min(index, len(_SPARK_LEVELS) - 1)]
+
+
+def _format_rows(rows: list[dict[str, Any]]) -> str:
+    """Minimal fixed-width table (kept local: obs has no repro deps)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def summarize_file(path: str) -> TraceSummary:
+    """Load a JSONL trace and summarize it."""
+    from repro.obs.export import read_jsonl
+
+    return TraceSummary.from_records(read_jsonl(path))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.core.cellstate import CellState
 from repro.core.transaction import Claim
 from repro.metrics import MetricsCollector
+from repro.obs import recorder as _obs
 from repro.sim import Simulator
 from repro.workload.job import Job
 
@@ -111,6 +112,17 @@ class QueueScheduler(abc.ABC):
         job.requeued_for_conflict = False
         self._busy = True
         think_time = self.decision_time(job)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "sched.think_start",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                queue_depth=len(self._queue),
+                conflict_retry=conflict_retry,
+            )
         self.begin_attempt(job)
         self.sim.after(
             think_time, self._think_complete, job, self.sim.now, conflict_retry
@@ -121,7 +133,27 @@ class QueueScheduler(abc.ABC):
             self.name, busy_start, self.sim.now, conflict_retry=conflict_retry
         )
         self._busy = False
-        self.attempt(job)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "sched.busy",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                t0=busy_start,
+                conflict_retry=conflict_retry,
+            )
+            with rec.span(
+                "sched.attempt",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+            ):
+                self.attempt(job)
+        else:
+            self.attempt(job)
         self._maybe_start()
 
     # ------------------------------------------------------------------
@@ -153,18 +185,49 @@ class QueueScheduler(abc.ABC):
         job.attempts += 1
         if had_conflict:
             job.conflicts += 1
+        rec = _obs.RECORDER
         if job.is_fully_scheduled:
             if job.fully_scheduled_time is None:
                 # Count each job once, even if preemption later sends it
                 # back through scheduling.
                 self.metrics.record_scheduled(self.name, job, self.sim.now)
+                if rec.enabled:
+                    rec.event(
+                        "job.scheduled",
+                        t=self.sim.now,
+                        sched=self.name,
+                        job=job.job_id,
+                        attempt=job.attempts,
+                        tasks=job.num_tasks,
+                        conflicts=job.conflicts,
+                    )
             job.fully_scheduled_time = self.sim.now
         elif job.attempts >= self.attempt_limit:
             job.abandoned = True
             self.metrics.record_abandoned(self.name, job)
+            if rec.enabled:
+                rec.event(
+                    "job.abandoned",
+                    t=self.sim.now,
+                    sched=self.name,
+                    job=job.job_id,
+                    attempt=job.attempts,
+                    unplaced=job.unplaced_tasks,
+                )
         else:
             job.requeued_for_conflict = had_conflict
-            self._requeue(job, at_front=had_conflict and self.retry_conflicts_at_front)
+            at_front = had_conflict and self.retry_conflicts_at_front
+            if rec.enabled:
+                rec.event(
+                    "job.requeued",
+                    t=self.sim.now,
+                    sched=self.name,
+                    job=job.job_id,
+                    attempt=job.attempts,
+                    conflict=had_conflict,
+                    at_front=at_front,
+                )
+            self._requeue(job, at_front=at_front)
 
     def _start_tasks(self, state: CellState, job: Job, claims: tuple[Claim, ...] | list[Claim]) -> None:
         """Schedule the resource release for tasks that just started."""

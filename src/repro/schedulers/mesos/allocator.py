@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.cellstate import CellState
 from repro.core.transaction import Claim
+from repro.obs import recorder as _obs
 from repro.schedulers.mesos.drf import dominant_share, pick_next_framework
 from repro.sim import Simulator
 
@@ -172,6 +173,16 @@ class MesosAllocator:
         self._offered_cpu += offer.free_cpu
         self._offered_mem += offer.free_mem
         self.offers_made += 1
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "mesos.offer_issued",
+                t=self.sim.now,
+                framework=framework.name,
+                offer=offer.offer_id,
+                cpu=offer.total_cpu,
+                mem=offer.total_mem,
+            )
         framework.receive_offer(offer)
         # More resources may remain (fair-share policy) or other
         # frameworks may be waiting; keep the cycle going.

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.placement import randomized_first_fit
 from repro.metrics import MetricsCollector
+from repro.obs import recorder as _obs
 from repro.schedulers.base import DecisionTimeModel, QueueScheduler
 from repro.schedulers.mesos.allocator import MesosAllocator, Offer
 from repro.sim import Simulator
@@ -56,6 +57,15 @@ class MesosFramework(QueueScheduler):
         if self._busy:  # pragma: no cover - allocator checks wants_offers()
             raise RuntimeError(f"framework {self.name} offered while busy")
         if not self._queue:
+            rec = _obs.RECORDER
+            if rec.enabled:
+                rec.event(
+                    "mesos.offer_declined",
+                    t=self.sim.now,
+                    sched=self.name,
+                    offer=offer.offer_id,
+                    reason="no_pending_work",
+                )
             self.allocator.return_offer(offer)
             return
         job = self._queue.popleft()
@@ -63,12 +73,34 @@ class MesosFramework(QueueScheduler):
             job.mark_first_attempt(self.sim.now)
             self.metrics.record_first_attempt(self.name, job)
         self._busy = True
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "sched.think_start",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                queue_depth=len(self._queue),
+                offer=offer.offer_id,
+            )
         think_time = self.decision_time(job)
         self.sim.after(think_time, self._offer_complete, job, offer, self.sim.now)
 
     def _offer_complete(self, job: Job, offer: Offer, busy_start: float) -> None:
         self.metrics.record_busy(self.name, busy_start, self.sim.now)
         self._busy = False
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "sched.busy",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                t0=busy_start,
+                conflict_retry=False,
+            )
         claims = randomized_first_fit(
             offer.free_cpu,
             offer.free_mem,
@@ -77,6 +109,17 @@ class MesosFramework(QueueScheduler):
             job.unplaced_tasks,
             self._rng,
         )
+        if rec.enabled:
+            placed = sum(claim.count for claim in claims)
+            rec.event(
+                "mesos.offer_accepted" if claims else "mesos.offer_declined",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+                offer=offer.offer_id,
+                placed=placed,
+            )
         if claims:
             self.allocator.launch(self, claims, job.duration)
             job.unplaced_tasks -= sum(claim.count for claim in claims)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.cluster import Cell
 from repro.core.cellstate import CellState
 from repro.metrics import MetricsCollector
+from repro.obs import recorder as _obs
 from repro.schedulers.base import DecisionTimeModel
 from repro.schedulers.monolithic import MonolithicScheduler
 from repro.sim import Simulator
@@ -70,10 +71,21 @@ class StaticPartition:
 
     def submit(self, job: Job) -> None:
         """Route a job to its type's dedicated partition."""
-        if job.job_type is JobType.BATCH:
-            self.batch_scheduler.submit(job)
-        else:
-            self.service_scheduler.submit(job)
+        target = (
+            self.batch_scheduler
+            if job.job_type is JobType.BATCH
+            else self.service_scheduler
+        )
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "partition.route",
+                t=target.sim.now,
+                sched=target.name,
+                job=job.job_id,
+                job_type=job.job_type.value,
+            )
+        target.submit(job)
 
     @property
     def states(self) -> tuple[CellState, CellState]:

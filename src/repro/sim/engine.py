@@ -10,6 +10,7 @@ the paper).
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Callable
 
 from repro.sim.events import Event, EventQueue
@@ -27,6 +28,13 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self.events_processed = 0
+        #: Optional profiler with a ``record(fn, seconds)`` method (see
+        #: :class:`repro.obs.profile.CallbackProfiler`). When None —
+        #: the default — dispatch pays only this None check.
+        self.profiler: Any | None = None
+        self.peak_queue_depth = 0
+        #: Wall-clock seconds spent inside :meth:`run` so far.
+        self.wall_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -37,13 +45,21 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self.now}"
             )
-        return self._queue.push(time, fn, *args)
+        event = self._queue.push(time, fn, *args)
+        depth = len(self._queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        return event
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self._queue.push(self.now + delay, fn, *args)
+        event = self._queue.push(self.now + delay, fn, *args)
+        depth = len(self._queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -85,7 +101,15 @@ class Simulator:
             return False
         self.now = event.time
         self.events_processed += 1
-        event.fn(*event.args)
+        profiler = self.profiler
+        if profiler is None:
+            event.fn(*event.args)
+        else:
+            start = _time.perf_counter()
+            try:
+                event.fn(*event.args)
+            finally:
+                profiler.record(event.fn, _time.perf_counter() - start)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -99,6 +123,7 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         processed = 0
+        wall_start = _time.perf_counter()
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -113,3 +138,14 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            self.wall_seconds += _time.perf_counter() - wall_start
+
+    def stats(self) -> dict[str, float | int]:
+        """Snapshot of the engine's own runtime statistics."""
+        return {
+            "events_processed": self.events_processed,
+            "pending_events": self.pending(),
+            "peak_queue_depth": self.peak_queue_depth,
+            "wall_seconds": self.wall_seconds,
+            "sim_now": self.now,
+        }

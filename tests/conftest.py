@@ -12,7 +12,7 @@ from repro.core.cellstate import CellState
 from repro.metrics import MetricsCollector
 from repro.sim import Simulator
 from repro.workload.clusters import CLUSTER_A, ClusterPreset
-from repro.workload.distributions import Constant, DiscretizedLogNormal, LogNormal
+from repro.workload.distributions import DiscretizedLogNormal, LogNormal
 from repro.workload.clusters import WorkloadParams
 from repro.workload.job import Job, JobType, reset_job_ids
 

@@ -11,7 +11,6 @@ from repro.core.scheduler import OmegaScheduler
 from repro.core.scheduler_preempting import PreemptingOmegaScheduler
 from repro.core.transaction import Claim
 from repro.schedulers.base import DecisionTimeModel
-from repro.sim import Simulator
 from repro.workload.job import JobType
 from tests.conftest import make_job
 

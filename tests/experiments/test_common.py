@@ -79,7 +79,9 @@ class TestHarness:
     def test_seed_changes_outcome(self, preset):
         first = run_lightweight(LightweightConfig(preset=preset, horizon=900.0, seed=1))
         second = run_lightweight(LightweightConfig(preset=preset, horizon=900.0, seed=2))
-        fingerprint = lambda r: (r.events_processed, r.final_cpu_utilization)
+        def fingerprint(r):
+            return (r.events_processed, r.final_cpu_utilization)
+
         assert fingerprint(first) != fingerprint(second)
 
     def test_initial_utilization_override(self, preset):

@@ -10,8 +10,6 @@ from repro.cluster import Cell
 from repro.core.cellstate import CellState
 from repro.core.limits import LimitedOmegaScheduler, SchedulerLimits
 from repro.core.preemption import AllocationLedger
-from repro.core.scheduler_preempting import PreemptingOmegaScheduler
-from repro.core.transaction import Claim
 from repro.experiments import ablations
 from repro.experiments.cli import main, render_plot
 from repro.experiments.common import LightweightConfig, run_lightweight

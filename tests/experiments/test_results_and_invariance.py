@@ -3,11 +3,10 @@ that justifies the benchmark methodology (DESIGN.md section 6)."""
 
 import pytest
 
-from repro.experiments.common import LightweightConfig, run_lightweight
+from repro.experiments.common import run_lightweight
 from repro.experiments.sweeps import sweep_batch_load
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
-from repro.workload.job import JobType
 from tests.conftest import make_job
 
 

@@ -6,7 +6,6 @@ from repro.core.transaction import CommitMode, ConflictMode
 from repro.hifi.replay import HighFidelityConfig, HighFidelitySimulation, run_hifi
 from repro.hifi.trace import synthesize_trace
 from repro.schedulers.base import DecisionTimeModel
-from repro.workload.job import JobType
 from tests.conftest import tiny_preset
 
 

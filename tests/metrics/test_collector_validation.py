@@ -1,0 +1,85 @@
+"""Input validation and registry publication in the metrics collector."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.obs import MetricsRegistry
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector(period=100.0)
+
+
+class TestValidation:
+    def test_negative_busy_start_rejected(self, collector):
+        with pytest.raises(ValueError, match="negative busy-interval start"):
+            collector.record_busy("s", -1.0, 10.0)
+
+    def test_busy_interval_ending_before_start_rejected(self, collector):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            collector.record_busy("s", 10.0, 5.0)
+
+    def test_negative_wait_time_rejected(self, collector):
+        job = make_job(submit_time=100.0)
+        job.mark_first_attempt(50.0)  # before submission
+        with pytest.raises(ValueError, match="negative wait time"):
+            collector.record_first_attempt("s", job)
+
+    def test_negative_commit_time_rejected(self, collector):
+        with pytest.raises(ValueError, match="negative commit time"):
+            collector.record_commit("s", conflicted=False, time=-0.5)
+
+    def test_negative_scheduling_time_rejected(self, collector):
+        with pytest.raises(ValueError, match="negative scheduling time"):
+            collector.record_scheduled("s", make_job(), time=-1.0)
+
+
+class TestRegistryPublication:
+    def test_collector_owns_a_private_registry_by_default(self):
+        a = MetricsCollector(period=100.0)
+        b = MetricsCollector(period=100.0)
+        assert a.registry is not b.registry
+
+    def test_explicit_registry_is_used(self):
+        registry = MetricsRegistry()
+        collector = MetricsCollector(period=100.0, registry=registry)
+        assert collector.registry is registry
+
+    def test_counters_mirror_recorded_activity(self, collector):
+        job = make_job(submit_time=0.0)
+        job.mark_first_attempt(2.0)
+        collector.record_submission(job)
+        collector.record_first_attempt("s", job)
+        collector.record_busy("s", 0.0, 30.0)
+        collector.record_busy("s", 30.0, 40.0, conflict_retry=True)
+        collector.record_commit("s", conflicted=True, time=30.0)
+        collector.record_commit("s", conflicted=False, time=40.0)
+        collector.record_scheduled("s", job, time=40.0)
+        collector.record_abandoned("s", make_job())
+
+        snapshot = collector.registry.snapshot()
+        assert snapshot["jobs.submitted"] == 1
+        assert snapshot["sched.busy_seconds{scheduler=s}"] == pytest.approx(40.0)
+        assert snapshot["txn.attempted{scheduler=s}"] == 2
+        assert snapshot["txn.conflicted{scheduler=s}"] == 1
+        assert snapshot["txn.committed{scheduler=s}"] == 1
+        assert snapshot["jobs.scheduled{scheduler=s}"] == 1
+        assert snapshot["tasks.scheduled{scheduler=s}"] == job.num_tasks
+        assert snapshot["jobs.abandoned{scheduler=s}"] == 1
+        wait = snapshot["jobs.wait_seconds{scheduler=s}"]
+        assert wait["count"] == 1
+        assert wait["p50"] == pytest.approx(2.0)
+
+    def test_registry_counters_agree_with_legacy_aggregates(self, collector):
+        for i in range(5):
+            collector.record_commit("s", conflicted=(i % 2 == 0), time=float(i))
+        metrics = collector.schedulers["s"]
+        snapshot = collector.registry.snapshot()
+        assert snapshot["txn.attempted{scheduler=s}"] == (
+            metrics.transactions_attempted
+        )
+        assert snapshot["txn.committed{scheduler=s}"] == (
+            metrics.transactions_committed
+        )

@@ -1,0 +1,55 @@
+"""JSONL round-trip and malformed-input handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import JsonlWriter, TraceRecorder, read_jsonl, write_jsonl
+
+
+def test_round_trip_preserves_records(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    records = [
+        {"kind": "event", "name": "txn.begin", "t": 1.0, "job": 3},
+        {"kind": "span", "name": "sched.attempt", "id": 1, "parent": None,
+         "wall_ms": 0.25, "fields": {"outcome": "scheduled"}},
+    ]
+    assert write_jsonl(records, path) == 2
+    assert read_jsonl(path) == records
+
+
+def test_recorder_stream_round_trips(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    rec = TraceRecorder(path=path, keep_records=True)
+    rec.event("txn.begin", t=1.5, sched="s", job=1, attempt=1)
+    with rec.span("sched.attempt", t=1.5, sched="s", job=1, attempt=1):
+        rec.event("txn.commit", conflicted=False)
+    rec.close()
+    assert read_jsonl(path) == rec.records
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"a":1}\n\n  \n{"b":2}\n')
+    assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+
+def test_malformed_line_names_line_number(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"ok":1}\nnot json\n')
+    with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+        read_jsonl(str(path))
+
+
+def test_non_object_line_rejected(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("[1,2,3]\n")
+    with pytest.raises(ValueError, match="not an object"):
+        read_jsonl(str(path))
+
+
+def test_write_after_close_raises(tmp_path):
+    writer = JsonlWriter(str(tmp_path / "t.jsonl"))
+    writer.close()
+    with pytest.raises(ValueError, match="closed"):
+        writer.write({"a": 1})

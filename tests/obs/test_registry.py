@@ -1,0 +1,153 @@
+"""Metrics registry: counters, gauges, histogram percentile edges."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    publish_sim_stats,
+    reset_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter("txns", {})
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        counter = Counter("txns", {})
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("depth", {})
+        gauge.set(4.0)
+        gauge.inc(-1.0)  # gauges may move both ways
+        assert gauge.value == 3.0
+
+    def test_set_max_keeps_high_water_mark(self):
+        gauge = Gauge("peak", {})
+        gauge.set_max(10.0)
+        gauge.set_max(3.0)
+        assert gauge.value == 10.0
+
+
+class TestHistogram:
+    def test_empty_percentiles_are_nan(self):
+        histogram = Histogram("wait", {})
+        assert math.isnan(histogram.percentile(50.0))
+        assert math.isnan(histogram.mean)
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p99"])
+
+    def test_single_sample_reports_that_sample(self):
+        histogram = Histogram("wait", {})
+        histogram.observe(0.42)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert histogram.percentile(p) == pytest.approx(0.42)
+        assert histogram.mean == pytest.approx(0.42)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = Histogram("wait", {}, buckets=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) >= 2.0
+        assert histogram.percentile(100.0) <= 4.0
+
+    def test_percentiles_are_monotonic(self):
+        histogram = Histogram("wait", {})
+        for value in (0.004, 0.02, 0.02, 0.3, 1.5, 7.0, 40.0, 40.0, 90.0, 2000.0):
+            histogram.observe(value)
+        estimates = [histogram.percentile(p) for p in (10, 25, 50, 75, 90, 99)]
+        assert estimates == sorted(estimates)
+
+    def test_overflow_bucket_catches_huge_values(self):
+        histogram = Histogram("wait", {}, buckets=(1.0,))
+        histogram.observe(1e9)
+        assert histogram.counts[-1] == 1
+        assert histogram.percentile(50.0) == pytest.approx(1e9)
+
+    def test_nan_observation_rejected(self):
+        histogram = Histogram("wait", {})
+        with pytest.raises(ValueError, match="NaN"):
+            histogram.observe(float("nan"))
+
+    def test_bad_bucket_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("wait", {}, buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("wait", {}, buckets=())
+
+    def test_bad_percentile_rejected(self):
+        histogram = Histogram("wait", {})
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            histogram.percentile(101.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("txns", scheduler="batch")
+        b = registry.counter("txns", scheduler="batch")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("txns", scheduler="batch")
+        b = registry.counter("txns", scheduler="service")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("busy")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("busy")
+
+    def test_snapshot_prefix_and_label_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.attempted", scheduler="b0").inc(5)
+        registry.gauge("sim.peak_queue_depth").set(7)
+        registry.histogram("jobs.wait_seconds").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["txn.attempted{scheduler=b0}"] == 5
+        assert snapshot["sim.peak_queue_depth"] == 7
+        assert snapshot["jobs.wait_seconds"]["count"] == 1
+        sim_only = registry.snapshot(prefix="sim.")
+        assert list(sim_only) == ["sim.peak_queue_depth"]
+
+
+class TestGlobalRegistry:
+    def test_reset_swaps_instance(self):
+        first = get_registry()
+        second = reset_registry()
+        assert second is not first
+        assert get_registry() is second
+
+    def test_publish_sim_stats_accumulates_across_runs(self):
+        publish_sim_stats(
+            {"events_processed": 100, "wall_seconds": 0.5, "peak_queue_depth": 10}
+        )
+        publish_sim_stats(
+            {"events_processed": 50, "wall_seconds": 0.25, "peak_queue_depth": 4}
+        )
+        snapshot = get_registry().snapshot(prefix="sim.")
+        assert snapshot["sim.runs"] == 2
+        assert snapshot["sim.events_processed"] == 150
+        assert snapshot["sim.wall_seconds"] == pytest.approx(0.75)
+        assert snapshot["sim.peak_queue_depth"] == 10  # max, not sum

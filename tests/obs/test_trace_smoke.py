@@ -1,0 +1,172 @@
+"""End-to-end: a traced Omega run produces a complete, consistent trace.
+
+The agreement checks here are the tentpole invariant: conflict
+fractions and busy time derived from the trace must equal the
+MetricsCollector aggregates the paper figures are computed from.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import CLUSTER_B, LightweightConfig, obs, run_lightweight
+from repro.experiments import cli
+from repro.schedulers import DecisionTimeModel
+
+
+def _traced_run(**overrides):
+    """One small Omega run with the in-memory recorder installed."""
+    config = LightweightConfig(
+        preset=CLUSTER_B.scaled(0.05),
+        architecture="omega",
+        horizon=2 * 3600.0,
+        seed=11,
+        **overrides,
+    )
+    recorder = obs.TraceRecorder()
+    obs.set_recorder(recorder)
+    try:
+        result = run_lightweight(config)
+    finally:
+        obs.reset_recorder()
+    return result, recorder
+
+
+@pytest.fixture(scope="module")
+def traced():
+    result, recorder = _traced_run()
+    return result, recorder, obs.TraceSummary.from_records(recorder.records)
+
+
+def test_every_record_is_well_formed(traced):
+    _, recorder, _ = traced
+    assert recorder.records_emitted == len(recorder.records) > 0
+    for record in recorder.records:
+        assert record["kind"] in ("event", "span")
+        assert isinstance(record["name"], str) and "." in record["name"]
+        if record["kind"] == "span":
+            assert record["wall_ms"] >= 0.0
+            assert isinstance(record["id"], int)
+
+
+def test_every_committed_transaction_has_full_record_chain(traced):
+    _, recorder, summary = traced
+    names = summary.record_names
+    committed = names["txn.commit"]
+    assert committed > 0
+    # Every commit attempt was validated, every scheduling attempt
+    # either reached commit or was explicitly skipped, and every
+    # attempt span traces back to a think-start + state sync. The
+    # think-start count may exceed the attempt count: thinks still in
+    # flight when the horizon ends never complete.
+    assert names["txn.validate"] == committed
+    assert names["sched.attempt"] == committed + names.get("txn.skipped", 0)
+    assert names["txn.begin"] == names["sched.think_start"]
+    assert names["sched.think_start"] >= names["sched.attempt"]
+    assert names["sched.busy"] == names["sched.attempt"]
+    # Commit records carry the accept/reject split for every attempt.
+    commits = [r for r in recorder.records if r["name"] == "txn.commit"]
+    for record in commits:
+        fields = record["fields"]
+        assert fields["accepted"] + fields["rejected"] >= 0
+        assert record["sched"] is not None
+        assert record["job"] is not None
+        assert record["attempt"] >= 1
+
+
+def test_trace_agrees_with_metrics_collector(traced):
+    result, _, summary = traced
+    metrics = result.metrics
+    for name in summary.scheduler_names():
+        entry = summary.schedulers[name]
+        trace_fraction = entry.conflict_fraction
+        collector_fraction = metrics.overall_conflict_fraction(name)
+        if math.isnan(collector_fraction):
+            assert math.isnan(trace_fraction)
+        else:
+            assert trace_fraction == pytest.approx(collector_fraction)
+        busy = metrics.registry.snapshot()[f"sched.busy_seconds{{scheduler={name}}}"]
+        assert entry.busy_seconds == pytest.approx(busy)
+    trace_txns = sum(e.txn_attempts for e in summary.schedulers.values())
+    collector_txns = sum(
+        m.transactions_attempted for m in metrics.schedulers.values()
+    )
+    assert trace_txns == collector_txns
+    assert sum(e.jobs_scheduled for e in summary.schedulers.values()) == (
+        result.jobs_scheduled
+    )
+
+
+def test_conflicted_runs_trace_the_conflicts():
+    # Slow, coarse-grained service decisions force commit conflicts.
+    result, recorder = _traced_run(
+        service_model=DecisionTimeModel(t_job=30.0, t_task=1.0),
+        num_batch_schedulers=4,
+    )
+    summary = obs.TraceSummary.from_records(recorder.records)
+    metrics = result.metrics
+    total_conflicts = sum(e.txn_conflicted for e in summary.schedulers.values())
+    assert total_conflicts > 0, "expected at least one conflict in this setup"
+    for name in summary.scheduler_names():
+        entry = summary.schedulers[name]
+        fraction = metrics.overall_conflict_fraction(name)
+        if not math.isnan(fraction):
+            assert entry.conflict_fraction == pytest.approx(fraction)
+    # Conflicted commits mark the retry chain and the rework busy time.
+    assert summary.retry_chains(top_n=1)[0].attempts > 1
+    assert any(
+        e.busy_conflict_seconds > 0 for e in summary.schedulers.values()
+    )
+
+
+def test_tracing_does_not_change_the_simulation():
+    traced_result, _ = _traced_run()
+    config = LightweightConfig(
+        preset=CLUSTER_B.scaled(0.05), architecture="omega",
+        horizon=2 * 3600.0, seed=11,
+    )
+    assert obs.get_recorder().enabled is False
+    plain = run_lightweight(config)
+    assert plain.jobs_submitted == traced_result.jobs_submitted
+    assert plain.jobs_scheduled == traced_result.jobs_scheduled
+    assert plain.events_processed == traced_result.events_processed
+
+
+def test_run_start_marker_present(traced):
+    _, recorder, summary = traced
+    assert summary.runs == 1
+    (start,) = [r for r in recorder.records if r["name"] == "run.start"]
+    assert start["fields"]["architecture"] == "omega"
+    assert start["fields"]["seed"] == 11
+
+
+def test_sim_stats_surface_on_result(traced):
+    result, _, _ = traced
+    stats = result.sim_stats
+    assert stats["events_processed"] == result.events_processed
+    assert stats["peak_queue_depth"] > 0
+    assert stats["wall_seconds"] > 0.0
+
+
+def test_cli_trace_flag_and_trace_subcommand(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.jsonl")
+    cli.main(["fig8", "--scale", "0.05", "--hours", "1", "--trace", trace_path])
+    capsys.readouterr()
+    records = obs.read_jsonl(trace_path)
+    assert records, "trace file should not be empty"
+    assert any(r["name"] == "txn.commit" for r in records)
+
+    cli.main(["trace", trace_path])
+    out = capsys.readouterr().out
+    assert "trace summary:" in out
+    assert "per-scheduler rollup:" in out
+    assert "omega-batch" in out
+
+
+def test_cli_verbose_prints_sim_stats(capsys):
+    cli.main(["fig8", "--scale", "0.05", "--hours", "1", "--verbose"])
+    out = capsys.readouterr().out
+    assert "sim.events_processed" in out
+    assert "sim.runs" in out

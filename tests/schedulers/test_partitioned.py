@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cell
-from repro.metrics import MetricsCollector
 from repro.schedulers.base import DecisionTimeModel
 from repro.schedulers.partitioned import StaticPartition
 from repro.workload.job import JobType

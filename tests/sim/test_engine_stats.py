@@ -1,0 +1,47 @@
+"""Simulator runtime statistics: stats() snapshot and peak queue depth."""
+
+from repro.sim import Simulator
+
+
+def test_stats_keys_and_initial_values():
+    sim = Simulator()
+    stats = sim.stats()
+    assert stats == {
+        "events_processed": 0,
+        "pending_events": 0,
+        "peak_queue_depth": 0,
+        "wall_seconds": 0.0,
+        "sim_now": 0.0,
+    }
+
+
+def test_stats_after_run():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, lambda: None)
+    sim.run(until=10.0)
+    stats = sim.stats()
+    assert stats["events_processed"] == 3
+    assert stats["pending_events"] == 0
+    assert stats["peak_queue_depth"] == 3
+    assert stats["sim_now"] == 3.0
+    assert stats["wall_seconds"] > 0.0
+
+
+def test_peak_queue_depth_is_high_water_mark():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: sim.after(1.0, lambda: None))
+    sim.run(until=10.0)
+    # Two queued up front, the third added after one was consumed.
+    assert sim.peak_queue_depth == 2
+
+
+def test_wall_seconds_accumulates_across_runs():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run(until=1.5)
+    first = sim.wall_seconds
+    sim.at(2.0, lambda: None)
+    sim.run(until=3.0)
+    assert sim.wall_seconds > first

@@ -3,8 +3,6 @@ malformed inputs must surface loudly, not corrupt the simulation."""
 
 import pytest
 
-from repro.sim import Simulator
-from repro.sim.engine import SimulationError
 
 
 class TestHandlerFailures:
