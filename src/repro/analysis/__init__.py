@@ -1,0 +1,40 @@
+"""repro.analysis — omega-lint static analysis plus the runtime
+determinism gate.
+
+The simulator's conclusions rest on invariants ordinary linters cannot
+see: all randomness flows through named seeded streams, all shared
+cell-state mutation flows through the section 3.4 optimistic-commit
+path, and resource comparisons tolerate EPSILON float dust. This
+package enforces them two ways:
+
+* **statically** — an AST rule engine (``python -m repro.analysis`` or
+  ``omega-sim lint``) with per-rule diagnostics, inline
+  ``# omega-lint: disable=RULE`` suppressions, and ``[tool.omega-lint]``
+  configuration in pyproject.toml;
+* **at runtime** — :mod:`repro.analysis.determinism` runs an experiment
+  twice with one master seed and fails on any trace divergence.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.engine import lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, Rule
+
+# The determinism gate lives in repro.analysis.determinism and is not
+# re-exported here: importing it eagerly would shadow
+# ``python -m repro.analysis.determinism`` (runpy double-import).
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Diagnostic",
+    "LintConfig",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,211 @@
+"""Runtime determinism gate: same seed, same trace — or hard failure.
+
+Static rules (DET001-003) catch the *sources* of nondeterminism; this
+gate catches the *symptom* end-to-end: it runs an experiment twice with
+the same master seed, records both runs through :mod:`repro.obs`, and
+diffs the traces event-by-event. Wall-clock fields (``wall_ms`` — the
+only real-time value in a trace record) are ignored; everything else,
+including simulated times, scheduler/job ids, and commit outcomes, must
+be byte-identical. The returned experiment rows are compared too.
+
+Run it directly (used by CI)::
+
+    python -m repro.analysis.determinism --scale 0.05 --hours 0.5
+
+Note the gate runs both passes in one process, so it cannot see
+``PYTHONHASHSEED``-dependent divergence between *processes* — that is
+DET003's job; the gate catches everything else (stateful module
+globals, unseeded draws, iteration over identity-keyed containers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro import obs
+
+#: Trace-record fields carrying wall-clock time, never compared.
+WALL_FIELDS = ("wall_ms",)
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Structural equality that treats NaN as equal to NaN.
+
+    Sparse experiment rows legitimately carry NaN (e.g. a service wait
+    time when no service job finished); ``nan != nan`` must not read as
+    nondeterminism.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(values_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Outcome of one double-run comparison."""
+
+    records_a: int
+    records_b: int
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        header = (
+            f"determinism gate: {self.records_a} vs {self.records_b} trace "
+            f"records -> {'IDENTICAL' if self.identical else 'DIVERGED'}"
+        )
+        return "\n".join([header, *self.divergences])
+
+
+def canonical_record(
+    record: dict[str, Any], ignore_fields: Sequence[str] = WALL_FIELDS
+) -> dict[str, Any]:
+    """A record with wall-clock fields removed (top level and nested
+    ``fields``), ready for exact comparison."""
+    clean = {key: value for key, value in record.items() if key not in ignore_fields}
+    nested = clean.get("fields")
+    if isinstance(nested, dict):
+        clean["fields"] = {
+            key: value for key, value in nested.items() if key not in ignore_fields
+        }
+    return clean
+
+
+def diff_traces(
+    trace_a: list[dict[str, Any]],
+    trace_b: list[dict[str, Any]],
+    ignore_fields: Sequence[str] = WALL_FIELDS,
+    max_divergences: int = 10,
+) -> list[str]:
+    """Describe where two traces diverge (empty list == identical)."""
+    divergences: list[str] = []
+    if len(trace_a) != len(trace_b):
+        divergences.append(
+            f"record count differs: {len(trace_a)} vs {len(trace_b)}"
+        )
+    for index, (raw_a, raw_b) in enumerate(zip(trace_a, trace_b)):
+        record_a = canonical_record(raw_a, ignore_fields)
+        record_b = canonical_record(raw_b, ignore_fields)
+        if not values_equal(record_a, record_b):
+            divergences.append(
+                f"record {index}: {record_a!r} != {record_b!r}"
+            )
+            if len(divergences) >= max_divergences:
+                divergences.append("... (further divergences elided)")
+                break
+    return divergences
+
+
+def _run_traced(experiment: Callable[[], Any]) -> tuple[Any, list[dict[str, Any]]]:
+    recorder = obs.TraceRecorder(keep_records=True)
+    obs.set_recorder(recorder)
+    try:
+        result = experiment()
+    finally:
+        obs.reset_recorder()
+        recorder.close()
+    return result, recorder.records
+
+
+def run_gate(
+    experiment: Callable[[], Any],
+    ignore_fields: Sequence[str] = WALL_FIELDS,
+) -> DeterminismReport:
+    """Run ``experiment`` twice under fresh trace recorders and diff.
+
+    ``experiment`` must be self-seeding (take no arguments and fix its
+    own master seed). Divergent *return values* are reported as well as
+    divergent traces: a run whose trace matches but whose rows differ
+    is still nondeterministic.
+    """
+    result_a, trace_a = _run_traced(experiment)
+    result_b, trace_b = _run_traced(experiment)
+    divergences = diff_traces(trace_a, trace_b, ignore_fields)
+    if not values_equal(result_a, result_b):
+        divergences.append("experiment return values differ between runs")
+    return DeterminismReport(
+        records_a=len(trace_a), records_b=len(trace_b), divergences=divergences
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI (CI entry point)
+# ----------------------------------------------------------------------
+def _representative_experiment(
+    name: str, seed: int, scale: float, horizon: float
+) -> Callable[[], Any]:
+    """A small experiment that exercises the full Omega txn pipeline."""
+    if name == "fig5c":
+        from repro.experiments.omega import figure5c_6c_rows
+
+        return lambda: figure5c_6c_rows(
+            t_jobs=(1.0,), horizon=horizon, seed=seed, scale=scale
+        )
+    if name == "fig8":
+        from repro.experiments.omega import figure8_rows
+
+        return lambda: figure8_rows(
+            factors=(1.0, 4.0), horizon=horizon, seed=seed, scale=scale
+        )
+    if name == "fig14":
+        from repro.experiments.conflict_modes import figure14_rows
+
+        return lambda: figure14_rows(horizon=horizon, seed=seed, scale=scale)
+    raise ValueError(f"unknown experiment: {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.determinism",
+        description="Run an experiment twice with the same master seed "
+        "and fail if the structured traces differ in anything but wall "
+        "time.",
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=("fig5c", "fig8", "fig14"),
+        default="fig8",
+        help="representative experiment to double-run (default: fig8)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="cell scale factor"
+    )
+    parser.add_argument(
+        "--hours", type=float, default=0.5, help="simulated horizon in hours"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        experiment = _representative_experiment(
+            args.experiment, args.seed, args.scale, args.hours * 3600.0
+        )
+    except ValueError as exc:  # pragma: no cover - argparse choices guard this
+        print(f"determinism gate: {exc}", file=sys.stderr)
+        return 2
+    report = run_gate(experiment)
+    print(report.render())
+    if report.records_a == 0:
+        print(
+            "determinism gate: experiment emitted no trace records; "
+            "the comparison is vacuous",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if report.identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""The omega-lint engine: file walking, suppression handling, dispatch.
+
+Suppressions are inline comments::
+
+    value = a == b  # omega-lint: disable=FLT001 -- ids, not resources
+    # omega-lint: disable-next-line=DET003 -- order folded by sum()
+    total = sum(x for x in pool)
+
+Multiple rules separate with commas (``disable=FLT001,GEN001``);
+everything after ``--`` is a justification for human readers. A
+suppression applies to findings anchored on its line (or the next line
+for ``disable-next-line``). Unknown rule ids in suppressions are
+findings themselves (rule ``LNT000``) so typos cannot silently turn a
+check off.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*omega-lint:\s*(disable|disable-next-line)\s*=\s*"
+    r"([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
+)
+
+
+def _suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
+    """Map line -> suppressed rule ids; plus diagnostics for bad ids."""
+    known = {rule.id for rule in ALL_RULES}
+    by_line: dict[int, set[str]] = {}
+    problems: list[Diagnostic] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        target = lineno + 1 if match.group(1) == "disable-next-line" else lineno
+        rules = {rule.strip() for rule in match.group(2).split(",") if rule.strip()}
+        unknown = sorted(rules - known)
+        if unknown:
+            problems.append(
+                Diagnostic(
+                    path="",
+                    line=lineno,
+                    col=match.start() + 1,
+                    rule="LNT000",
+                    severity="error",
+                    message=(
+                        f"suppression names unknown rule(s) {', '.join(unknown)}"
+                    ),
+                )
+            )
+        by_line.setdefault(target, set()).update(rules & known)
+    return by_line, problems
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> list[Diagnostic]:
+    """Lint one module's source text; returns sorted diagnostics."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule="LNT001",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    module = ModuleContext(path=path, tree=tree, config=config)
+    suppressed, problems = _suppressions(source)
+    findings = [
+        Diagnostic(
+            path=path,
+            line=problem.line,
+            col=problem.col,
+            rule=problem.rule,
+            severity=problem.severity,
+            message=problem.message,
+        )
+        for problem in problems
+    ]
+    for rule in rules:
+        if not config.rule_enabled(rule.id):
+            continue
+        for diag in rule.check(module):
+            if diag.rule in suppressed.get(diag.line, ()):
+                continue
+            findings.append(diag)
+    return sorted(findings)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    found: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        else:
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> list[Diagnostic]:
+    """Lint every ``*.py`` under ``paths``; returns sorted diagnostics.
+
+    Raises ``FileNotFoundError`` for a path that does not exist — the
+    CLI maps that to exit code 2 (user error, not a finding).
+    """
+    for entry in paths:
+        if not Path(entry).exists():
+            raise FileNotFoundError(f"no such path: {entry}")
+    if config is None:
+        config = load_config()
+    findings: list[Diagnostic] = []
+    for file in iter_python_files(paths):
+        posix = file.as_posix()
+        if config.excluded(posix):
+            continue
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, path=posix, config=config, rules=rules))
+    return sorted(findings)

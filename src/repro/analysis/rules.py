@@ -1,0 +1,639 @@
+"""The omega-lint rule catalogue.
+
+Each rule guards one invariant the Omega reproduction's evaluation
+rests on (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
+
+======  ==============================================================
+DET001  Raw RNG construction outside ``repro/sim/random.py`` breaks
+        the named-stream discipline that keeps A/B workloads identical.
+DET002  Wall-clock reads in simulation logic leak real time into
+        simulated results.
+DET003  Unordered set/dict iteration in scheduler/placement decision
+        paths makes placements depend on hash order.
+TXN001  Direct writes to master cell-state resource fields bypass the
+        section 3.4 optimistic-commit path.
+FLT001  ``==``/``!=`` on resource floats ignores the EPSILON tolerance
+        the resource arithmetic is built on.
+GEN001  Mutable default arguments alias state across calls.
+======  ==============================================================
+
+Rules receive a :class:`ModuleContext` (parsed AST with parent links,
+import alias maps, and the active :class:`~repro.analysis.config.
+LintConfig`) and yield :class:`~repro.analysis.diagnostics.Diagnostic`
+objects. Everything here is stdlib ``ast`` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.config import LintConfig, match_path
+from repro.analysis.diagnostics import Diagnostic
+
+
+# ----------------------------------------------------------------------
+# Module context shared by all rules
+# ----------------------------------------------------------------------
+@dataclass
+class ModuleContext:
+    """One parsed module plus everything rules need to inspect it."""
+
+    path: str
+    tree: ast.Module
+    config: LintConfig
+    #: local alias -> canonical module name, for ``import numpy as np``
+    #: style imports of the modules the rules care about.
+    module_aliases: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                child._omega_parent = node  # type: ignore[attr-defined]
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("numpy", "time", "datetime", "random"):
+                        self.module_aliases[alias.asname or alias.name] = alias.name
+
+    def aliases_of(self, module: str) -> set[str]:
+        return {
+            alias
+            for alias, canonical in self.module_aliases.items()
+            if canonical == module
+        }
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    return getattr(node, "_omega_parent", None)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# DET001 — raw RNG construction/use
+# ----------------------------------------------------------------------
+class RawRandomRule(Rule):
+    """All randomness must flow through named RandomStreams streams."""
+
+    id = "DET001"
+    description = (
+        "raw RNG construction or use outside repro/sim/random.py "
+        "(breaks seeded named-stream reproducibility)"
+    )
+
+    #: numpy.random attributes that are types, not entropy sources —
+    #: fine to reference in annotations and isinstance checks.
+    _TYPE_NAMES = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if match_path(module.path, module.config.rng_allow):
+            return
+        numpy_aliases = module.aliases_of("numpy")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("numpy.random"):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"import of {alias.name!r}: draw from a named "
+                            "RandomStreams stream instead of a raw RNG",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module is not None and node.module.startswith("numpy.random")
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"import from {node.module!r}: draw from a named "
+                        "RandomStreams stream instead of a raw RNG",
+                    )
+                elif node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "import of numpy.random: draw from a named "
+                        "RandomStreams stream instead of a raw RNG",
+                    )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                head, _, rest = dotted.partition(".")
+                if head not in numpy_aliases:
+                    continue
+                sub = rest.split(".")
+                if len(sub) >= 2 and sub[0] == "random":
+                    if sub[1] not in self._TYPE_NAMES:
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"use of {head}.random.{sub[1]}: construct RNGs "
+                            "only in repro/sim/random.py (RandomStreams)",
+                        )
+                elif rest == "random":
+                    # Bare `np.random` (e.g. passed around as a module
+                    # object) — unless it is the prefix of a chain we
+                    # already classified above.
+                    if not isinstance(parent(node), ast.Attribute):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"use of the {head}.random module: draw from a "
+                            "named RandomStreams stream instead",
+                        )
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ----------------------------------------------------------------------
+class WallClockRule(Rule):
+    """Simulation logic must use simulated time, never the wall clock."""
+
+    id = "DET002"
+    description = (
+        "wall-clock read outside the observability allowlist "
+        "(simulated results must not depend on real time)"
+    )
+
+    _TIME_FNS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+    _DATETIME_FNS = frozenset({"now", "today", "utcnow"})
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if match_path(module.path, module.config.clock_allow):
+            return
+        time_aliases = module.aliases_of("time")
+        datetime_aliases = module.aliases_of("datetime")
+        #: names bound by `from datetime import datetime/date`
+        datetime_classes: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self._TIME_FNS:
+                            yield self.diagnostic(
+                                module,
+                                node,
+                                f"import of time.{alias.name}: use simulated "
+                                "time (Simulator.now) instead of the wall clock",
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_classes.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] in time_aliases and len(parts) == 2:
+                if parts[1] in self._TIME_FNS:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"wall-clock read {dotted}: use simulated time "
+                        "(Simulator.now) instead",
+                    )
+            elif node.attr in self._DATETIME_FNS:
+                base = parts[:-1]
+                if (base[0] in datetime_aliases and base[1:] in (["datetime"], ["date"])) or (
+                    len(base) == 1 and base[0] in datetime_classes
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"wall-clock read {dotted}: use simulated time "
+                        "(Simulator.now) instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration in decision paths
+# ----------------------------------------------------------------------
+class UnorderedIterationRule(Rule):
+    """Set/dict iteration order must be made explicit where it can
+    influence scheduling decisions."""
+
+    id = "DET003"
+    description = (
+        "iteration over a set/dict in a scheduler/placement decision "
+        "path without sorted() (hash-order nondeterminism)"
+    )
+
+    _DICT_METHODS = frozenset({"keys", "values", "items"})
+    #: builtins whose result does not depend on argument order, so a
+    #: comprehension/generator fed straight into them is exempt.
+    _ORDER_INSENSITIVE = frozenset(
+        {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset"}
+    )
+    _WRAPPERS = frozenset({"list", "tuple"})
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not match_path(module.path, module.config.decision_paths):
+            return
+        unordered_attrs = self._unordered_self_attrs(module.tree)
+        for scope in self._scopes(module.tree):
+            local_unordered = self._unordered_locals(scope)
+            for node in ast.walk(scope):
+                if self._owning_scope(node) is not scope:
+                    continue
+                for iter_expr, consumer in self._iteration_sites(node):
+                    if consumer in self._ORDER_INSENSITIVE:
+                        continue
+                    why = self._unordered_reason(
+                        iter_expr, local_unordered, unordered_attrs
+                    )
+                    if why is not None:
+                        yield self.diagnostic(
+                            module,
+                            iter_expr,
+                            f"iteration over {why} in a decision path: wrap "
+                            "in sorted() to pin the order",
+                        )
+
+    # -- helpers -------------------------------------------------------
+    def _scopes(self, tree: ast.Module) -> list[ast.AST]:
+        return [tree] + [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def _owning_scope(self, node: ast.AST) -> ast.AST:
+        current = parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                return current
+            current = parent(current)
+        return node
+
+    def _iteration_sites(self, node: ast.AST) -> list[tuple[ast.expr, str | None]]:
+        """(iterated expression, consuming builtin or None) pairs."""
+        sites: list[tuple[ast.expr, str | None]] = []
+        if isinstance(node, ast.For):
+            sites.append((node.iter, None))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            consumer = None
+            up = parent(node)
+            if (
+                isinstance(up, ast.Call)
+                and isinstance(up.func, ast.Name)
+                and node in up.args
+            ):
+                consumer = up.func.id
+            for gen in node.generators:
+                sites.append((gen.iter, consumer))
+        return sites
+
+    def _unordered_locals(self, scope: ast.AST) -> set[str]:
+        """Names assigned a set/dict literal or constructor in ``scope``."""
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                value_unordered = self._is_unordered_literal(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if value_unordered:
+                            names.add(target.id)
+                        else:
+                            names.discard(target.id)
+        return names
+
+    def _unordered_self_attrs(self, tree: ast.Module) -> set[str]:
+        """``self.X`` attributes assigned set/dict values in ``__init__``."""
+        attrs: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        value = sub.value
+                        targets = (
+                            sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                        )
+                        if value is not None and self._is_unordered_literal(value):
+                            for target in targets:
+                                if (
+                                    isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                ):
+                                    attrs.add(target.attr)
+        return attrs
+
+    def _is_unordered_literal(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset", "dict")
+        return False
+
+    def _unordered_reason(
+        self,
+        expr: ast.expr,
+        local_unordered: set[str],
+        unordered_attrs: set[str],
+    ) -> str | None:
+        """Why ``expr`` iterates in hash/insertion order, or None."""
+        # Unwrap list()/tuple() materializations: they preserve order.
+        while (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in self._WRAPPERS
+            and len(expr.args) == 1
+        ):
+            expr = expr.args[0]
+        if self._is_unordered_literal(expr):
+            return "a set/dict literal"
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in self._DICT_METHODS
+            and not expr.args
+        ):
+            return f"dict .{expr.func.attr}()"
+        if isinstance(expr, ast.Name) and expr.id in local_unordered:
+            return f"the set/dict {expr.id!r}"
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in unordered_attrs
+        ):
+            return f"the set/dict attribute self.{expr.attr}"
+        return None
+
+
+# ----------------------------------------------------------------------
+# TXN001 — cell-state mutation outside the commit path
+# ----------------------------------------------------------------------
+class CellStateWriteRule(Rule):
+    """Master cell state changes only through claim/release/commit."""
+
+    id = "TXN001"
+    description = (
+        "write to a CellState resource field outside the transaction "
+        "commit path (bypasses optimistic concurrency control)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        config = module.config
+        if match_path(module.path, config.txn_allow):
+            return
+        fields_guarded = set(config.resource_fields)
+        for scope in self._scopes(module.tree):
+            aliases = self._field_aliases(scope, fields_guarded, config)
+            for node in ast.walk(scope):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    diag = self._check_target(
+                        module, node, target, fields_guarded, aliases, config
+                    )
+                    if diag is not None:
+                        yield diag
+
+    def _scopes(self, tree: ast.Module) -> list[ast.AST]:
+        return [tree] + [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def _check_target(
+        self,
+        module: ModuleContext,
+        stmt: ast.AST,
+        target: ast.expr,
+        fields_guarded: set[str],
+        aliases: dict[str, str],
+        config: LintConfig,
+    ) -> Diagnostic | None:
+        # x.free_cpu = ... / x.free_cpu[i] = ... / x.free_cpu[i] -= ...
+        attr = target
+        if isinstance(attr, ast.Subscript):
+            if isinstance(attr.value, ast.Name) and attr.value.id in aliases:
+                return self.diagnostic(
+                    module,
+                    stmt,
+                    f"write through {attr.value.id!r}, an alias of "
+                    f"{aliases[attr.value.id]}: mutate cell state only via "
+                    "CellState.claim/release or transaction.commit",
+                )
+            attr = attr.value
+        if not (isinstance(attr, ast.Attribute) and attr.attr in fields_guarded):
+            return None
+        receiver = dotted_name(attr.value)
+        if receiver is not None and self._is_scratch(receiver, config):
+            return None
+        if receiver == "self" and self._in_init(stmt):
+            return None  # an object initializing its own fields
+        shown = receiver or "<expr>"
+        return self.diagnostic(
+            module,
+            stmt,
+            f"write to {shown}.{attr.attr}: mutate cell state only via "
+            "CellState.claim/release or transaction.commit",
+        )
+
+    def _field_aliases(
+        self, scope: ast.AST, fields_guarded: set[str], config: LintConfig
+    ) -> dict[str, str]:
+        """Local names bound directly to a guarded master-state array,
+        e.g. ``free = state.free_cpu`` (``.copy()`` breaks the alias)."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_alias = (
+                isinstance(value, ast.Attribute)
+                and value.attr in fields_guarded
+                and (
+                    dotted_name(value.value) is None
+                    or not self._is_scratch(dotted_name(value.value), config)
+                )
+            )
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if is_alias:
+                        aliases[target.id] = dotted_name(value) or value.attr
+                    else:
+                        aliases.pop(target.id, None)
+        return aliases
+
+    def _is_scratch(self, receiver: str, config: LintConfig) -> bool:
+        lowered = receiver.lower()
+        return any(token in lowered for token in config.snapshot_names)
+
+    def _in_init(self, node: ast.AST) -> bool:
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(current, ast.FunctionDef) and current.name == "__init__":
+                return True
+            current = parent(current)
+        return False
+
+
+# ----------------------------------------------------------------------
+# FLT001 — float equality on resource quantities
+# ----------------------------------------------------------------------
+class ResourceFloatEqualityRule(Rule):
+    """Resource arithmetic is EPSILON-tolerant; exact == is a bug."""
+
+    id = "FLT001"
+    description = (
+        "==/!= on resource floats (use the EPSILON tolerance from "
+        "repro.core.cellstate instead)"
+    )
+
+    _RESOURCE_RE = re.compile(
+        r"(?:^|_)(cpu|mem)s?(?:_|$)|utilization|capacity|headroom|dominant_share"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if self._exempt(left) or self._exempt(right):
+                    continue
+                resource = next(
+                    (
+                        name
+                        for name in (self._resource_name(left), self._resource_name(right))
+                        if name is not None
+                    ),
+                    None,
+                )
+                if resource is not None:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"exact float comparison on {resource!r}: compare "
+                        "with the EPSILON tolerance (abs(a - b) <= EPSILON)",
+                    )
+
+    def _resource_name(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name: str | None = None
+        if isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        if name is not None and self._RESOURCE_RE.search(name):
+            return name
+        return None
+
+    def _exempt(self, expr: ast.expr) -> bool:
+        """Comparisons against str/None/bool are identity-ish, not float."""
+        return isinstance(expr, ast.Constant) and (
+            expr.value is None or isinstance(expr.value, (str, bool))
+        )
+
+
+# ----------------------------------------------------------------------
+# GEN001 — mutable default arguments
+# ----------------------------------------------------------------------
+class MutableDefaultRule(Rule):
+    """Mutable defaults are shared across calls — classic aliasing bug."""
+
+    id = "GEN001"
+    description = "mutable default argument (shared across calls)"
+
+    _CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        "mutable default argument: default to None and "
+                        "create the container inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._CONSTRUCTORS
+        return False
+
+
+#: Every shipped rule, in catalogue order.
+ALL_RULES: tuple[Rule, ...] = (
+    RawRandomRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    CellStateWriteRule(),
+    ResourceFloatEqualityRule(),
+    MutableDefaultRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

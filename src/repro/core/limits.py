@@ -209,7 +209,7 @@ class PolicyMonitor:
     def _audit(self) -> None:
         self.samples += 1
         usage = self.ledger.usage_by_owner()
-        for scheduler, limits in self.limits.items():
+        for scheduler, limits in sorted(self.limits.items()):
             cpu, mem = usage.get(scheduler, (0.0, 0.0))
             over_cpu = limits.max_cpu is not None and cpu > limits.max_cpu + 1e-9
             over_mem = limits.max_mem is not None and mem > limits.max_mem + 1e-9

@@ -135,20 +135,26 @@ class AllocationLedger:
         grouped under ``"<unowned>"``.
         """
         usage: dict[str, list[float]] = {}
-        for records in self._by_machine.values():
-            for record in records.values():
+        # Iterate machines and records in a pinned order so float
+        # accumulation is reproducible (omega-lint DET003).
+        for machine in sorted(self._by_machine):
+            for record in sorted(
+                self._by_machine[machine].values(), key=lambda r: r.record_id
+            ):
                 key = record.owner or "<unowned>"
                 totals = usage.setdefault(key, [0.0, 0.0])
                 totals[0] += record.total_cpu
                 totals[1] += record.total_mem
-        return {owner: (cpu, mem) for owner, (cpu, mem) in usage.items()}
+        return {owner: (cpu, mem) for owner, (cpu, mem) in sorted(usage.items())}
 
     def preemptible(self, machine: int, below_precedence: int) -> tuple[float, float]:
         """(cpu, mem) reclaimable on ``machine`` from allocations whose
         precedence is strictly below ``below_precedence``."""
         cpu = 0.0
         mem = 0.0
-        for record in self._by_machine.get(machine, {}).values():
+        for record in sorted(
+            self._by_machine.get(machine, {}).values(), key=lambda r: r.record_id
+        ):
             if record.precedence < below_precedence:
                 cpu += record.total_cpu
                 mem += record.total_mem
@@ -203,7 +209,9 @@ class AllocationLedger:
         """Evict *every* allocation on ``machine`` regardless of
         precedence (machine failure semantics). Returns evicted tasks."""
         evicted = 0
-        for record in list(self._by_machine.get(machine, {}).values()):
+        for record in sorted(
+            self._by_machine.get(machine, {}).values(), key=lambda r: r.record_id
+        ):
             evicted += record.count
             self._evict_tasks(record, record.count)
         return evicted

@@ -139,10 +139,10 @@ class OmegaScheduler(QueueScheduler):
         if not self._hot_machines:
             return
         now = self.sim.now
-        expired = [m for m, expiry in self._hot_machines.items() if expiry <= now]
+        expired = [m for m, expiry in sorted(self._hot_machines.items()) if expiry <= now]
         for machine in expired:
             del self._hot_machines[machine]
-        for machine in self._hot_machines:
+        for machine in sorted(self._hot_machines):
             snapshot.free_cpu[machine] = 0.0
             snapshot.free_mem[machine] = 0.0
 

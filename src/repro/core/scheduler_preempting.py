@@ -64,8 +64,8 @@ class PreemptingOmegaScheduler(OmegaScheduler):
         assert self._snapshot is not None
         plan_cpu = self._snapshot.free_cpu.copy()
         plan_mem = self._snapshot.free_mem.copy()
-        for machine, records in self.ledger._by_machine.items():
-            for record in records.values():
+        for machine, records in sorted(self.ledger._by_machine.items()):
+            for record in sorted(records.values(), key=lambda r: r.record_id):
                 if record.precedence < job.precedence:
                     plan_cpu[machine] += record.total_cpu
                     plan_mem[machine] += record.total_mem

@@ -15,6 +15,12 @@ Observability (see ``docs/OBSERVABILITY.md``): every command accepts
 ``--verbose`` to print engine statistics; ``omega-sim trace FILE``
 summarizes a recorded trace (per-scheduler conflict fractions,
 busy-time breakdown, conflict timelines, retry chains).
+
+Static analysis (see ``docs/STATIC_ANALYSIS.md``): ``omega-sim lint
+[PATHS]`` runs the omega-lint rule pass (determinism,
+transaction-safety and resource-arithmetic invariants) and exits
+non-zero on findings; ``--format json`` emits a machine-readable
+report.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import sys
 from typing import Callable
 
 from repro import obs
+from repro.analysis import cli as lint
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
@@ -291,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(events processed, peak queue depth, wall seconds)",
         )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run omega-lint, the domain static-analysis pass "
+        "(determinism, transaction-safety, and resource-arithmetic "
+        "rules; see docs/STATIC_ANALYSIS.md)",
+    )
+    lint.add_lint_arguments(lint_parser)
+
     trace_parser = subparsers.add_parser(
         "trace",
         help="summarize a JSONL trace recorded with --trace: per-scheduler "
@@ -333,6 +348,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return lint.run_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
     command, _ = COMMANDS[args.command]

@@ -63,10 +63,12 @@ class AttributeIndex:
         self._masks: dict[tuple[str, str], np.ndarray] = {}
         values_seen: dict[str, set[str]] = {}
         for machine in cell:
-            for attribute, value in machine.attributes.items():
+            for attribute, value in sorted(machine.attributes.items()):
                 values_seen.setdefault(attribute, set()).add(value)
-        for attribute, values in values_seen.items():
-            for value in values:
+        # Sort the (attribute, value) space so mask construction order —
+        # and with it any downstream dict order — is hash-independent.
+        for attribute, values in sorted(values_seen.items()):
+            for value in sorted(values):
                 mask = np.fromiter(
                     (m.attributes.get(attribute) == value for m in cell),
                     dtype=bool,

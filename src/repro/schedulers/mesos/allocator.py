@@ -104,7 +104,9 @@ class MesosAllocator:
         cell = self.state.cell
         return {
             framework: dominant_share(cpu, mem, cell.total_cpu, cell.total_mem)
-            for framework, (cpu, mem) in self._allocated.items()
+            for framework, (cpu, mem) in sorted(
+                self._allocated.items(), key=lambda entry: entry[0].name
+            )
         }
 
     # ------------------------------------------------------------------

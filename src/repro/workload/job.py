@@ -15,6 +15,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.core.cellstate import EPSILON
+
 
 class JobType(enum.Enum):
     """The paper's two-way workload split (section 2.1).
@@ -84,7 +86,9 @@ class Job:
             raise ValueError(f"a job needs at least one task, got {self.num_tasks}")
         if self.cpu_per_task < 0 or self.mem_per_task < 0:
             raise ValueError("per-task resource requests must be non-negative")
-        if self.cpu_per_task == 0 and self.mem_per_task == 0:
+        if self.cpu_per_task <= EPSILON and self.mem_per_task <= EPSILON:
+            # A sub-EPSILON request is indistinguishable from zero in
+            # the cell-state accounting, so reject it the same way.
             raise ValueError("a task must request some resource")
         if self.duration <= 0:
             raise ValueError(f"task duration must be positive, got {self.duration}")

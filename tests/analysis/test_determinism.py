@@ -1,0 +1,117 @@
+"""The runtime determinism gate: double-run trace comparison."""
+
+import math
+
+from repro import obs
+from repro.analysis.determinism import (
+    DeterminismReport,
+    canonical_record,
+    diff_traces,
+    main,
+    run_gate,
+    values_equal,
+)
+from repro.experiments.omega import figure5c_6c_rows
+
+
+class TestValuesEqual:
+    def test_nan_equals_nan(self):
+        assert values_equal(float("nan"), float("nan"))
+        assert values_equal({"wait": math.nan}, {"wait": math.nan})
+
+    def test_distinct_floats_differ(self):
+        assert not values_equal(1.0, 1.0 + 1e-12)
+
+    def test_nested_structures(self):
+        assert values_equal([{"a": (1, 2.0)}], [{"a": (1, 2.0)}])
+        assert not values_equal([{"a": 1}], [{"a": 2}])
+
+
+class TestDiffTraces:
+    def test_identical_traces_have_no_divergence(self):
+        trace = [{"kind": "event", "name": "txn.begin", "t": 1.0}]
+        assert diff_traces(trace, list(trace)) == []
+
+    def test_wall_time_ignored(self):
+        a = [{"kind": "span", "name": "s", "wall_ms": 1.0}]
+        b = [{"kind": "span", "name": "s", "wall_ms": 99.0}]
+        assert diff_traces(a, b) == []
+
+    def test_nested_wall_fields_ignored(self):
+        a = [{"kind": "event", "fields": {"wall_ms": 1.0, "n": 2}}]
+        b = [{"kind": "event", "fields": {"wall_ms": 3.0, "n": 2}}]
+        assert diff_traces(a, b) == []
+
+    def test_divergence_reported_with_index(self):
+        a = [{"t": 0.0}, {"t": 1.0}]
+        b = [{"t": 0.0}, {"t": 2.0}]
+        divergences = diff_traces(a, b)
+        assert len(divergences) == 1
+        assert divergences[0].startswith("record 1:")
+
+    def test_length_mismatch_reported(self):
+        assert "record count differs" in diff_traces([{}], [])[0]
+
+    def test_divergence_cap(self):
+        a = [{"t": float(i)} for i in range(50)]
+        b = [{"t": float(i) + 1.0} for i in range(50)]
+        divergences = diff_traces(a, b, max_divergences=5)
+        assert divergences[-1].startswith("...")
+        assert len(divergences) == 6
+
+    def test_canonical_record_strips_wall(self):
+        record = {"kind": "span", "wall_ms": 3.0, "fields": {"wall_ms": 1.0}}
+        assert canonical_record(record) == {"kind": "span", "fields": {}}
+
+
+class TestRunGate:
+    def test_deterministic_experiment_passes(self):
+        report = run_gate(
+            lambda: figure5c_6c_rows(
+                t_jobs=(1.0,), clusters=("A",), horizon=600.0, seed=7, scale=0.02
+            )
+        )
+        assert report.identical, report.render()
+        assert report.records_a == report.records_b > 0
+
+    def test_restores_null_recorder(self):
+        run_gate(lambda: None)
+        assert obs.get_recorder() is obs.recorder.NULL_RECORDER
+
+    def test_nondeterministic_experiment_fails(self):
+        calls = iter([1, 2])
+
+        def flaky():
+            obs.get_recorder().event("step", value=next(calls))
+            return []
+
+        report = run_gate(flaky)
+        assert not report.identical
+        assert any("record 0" in line for line in report.divergences)
+
+    def test_divergent_return_value_fails(self):
+        calls = iter(["a", "b"])
+
+        def quiet_flaky():
+            obs.get_recorder().event("step", value=1)
+            return next(calls)
+
+        report = run_gate(quiet_flaky)
+        assert report.divergences == [
+            "experiment return values differ between runs"
+        ]
+
+    def test_report_render(self):
+        good = DeterminismReport(records_a=3, records_b=3)
+        assert "IDENTICAL" in good.render()
+        bad = DeterminismReport(records_a=3, records_b=3, divergences=["record 0: x"])
+        assert "DIVERGED" in bad.render()
+
+
+class TestGateCli:
+    def test_main_passes_on_small_run(self, capsys):
+        code = main(
+            ["--experiment", "fig5c", "--scale", "0.02", "--hours", "0.2", "--seed", "3"]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out

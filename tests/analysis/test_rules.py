@@ -1,0 +1,364 @@
+"""Positive and negative cases for every omega-lint rule."""
+
+import textwrap
+
+from repro.analysis import LintConfig, lint_source
+
+
+def lint(source: str, path: str = "repro/core/example.py", **config_kwargs):
+    config = LintConfig(**config_kwargs)
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+def rules_of(findings):
+    return [diag.rule for diag in findings]
+
+
+# ----------------------------------------------------------------------
+# DET001 — raw RNG construction/use
+# ----------------------------------------------------------------------
+class TestDET001:
+    def test_import_random_flagged(self):
+        assert rules_of(lint("import random\n")) == ["DET001"]
+
+    def test_from_random_import_flagged(self):
+        assert rules_of(lint("from random import choice\n")) == ["DET001"]
+
+    def test_default_rng_flagged(self):
+        source = """
+            import numpy as np
+            rng = np.random.default_rng(42)
+        """
+        assert "DET001" in rules_of(lint(source))
+
+    def test_np_random_seed_flagged(self):
+        source = """
+            import numpy as np
+            np.random.seed(0)
+        """
+        assert "DET001" in rules_of(lint(source))
+
+    def test_module_level_functions_flagged(self):
+        source = """
+            import numpy
+            x = numpy.random.rand(3)
+        """
+        assert "DET001" in rules_of(lint(source))
+
+    def test_bare_np_random_reference_flagged(self):
+        source = """
+            import numpy as np
+            module = np.random
+        """
+        assert "DET001" in rules_of(lint(source))
+
+    def test_generator_annotation_not_flagged(self):
+        source = """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return rng.random()
+        """
+        assert lint(source) == []
+
+    def test_allowlisted_module_not_flagged(self):
+        source = """
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """
+        assert lint(source, path="repro/sim/random.py") == []
+
+    def test_seed_sequence_type_not_flagged(self):
+        source = """
+            import numpy as np
+            kind = np.random.SeedSequence
+        """
+        assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ----------------------------------------------------------------------
+class TestDET002:
+    def test_time_time_flagged(self):
+        source = """
+            import time
+            now = time.time()
+        """
+        assert "DET002" in rules_of(lint(source))
+
+    def test_aliased_import_flagged(self):
+        source = """
+            import time as _time
+            start = _time.perf_counter()
+        """
+        assert "DET002" in rules_of(lint(source))
+
+    def test_from_time_import_flagged(self):
+        assert "DET002" in rules_of(lint("from time import monotonic\n"))
+
+    def test_datetime_now_flagged(self):
+        source = """
+            import datetime
+            stamp = datetime.datetime.now()
+        """
+        assert "DET002" in rules_of(lint(source))
+
+    def test_from_datetime_import_now_flagged(self):
+        source = """
+            from datetime import datetime
+            stamp = datetime.now()
+        """
+        assert "DET002" in rules_of(lint(source))
+
+    def test_simulated_time_not_flagged(self):
+        source = """
+            def callback(sim):
+                return sim.now
+        """
+        assert lint(source) == []
+
+    def test_allowlisted_module_not_flagged(self):
+        source = """
+            import time
+            start = time.perf_counter()
+        """
+        assert lint(source, path="repro/obs/recorder.py") == []
+
+    def test_time_sleep_not_flagged(self):
+        source = """
+            import time
+            time.sleep(1)
+        """
+        assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration in decision paths
+# ----------------------------------------------------------------------
+class TestDET003:
+    def test_dict_items_for_loop_flagged(self):
+        source = """
+            def place(pending):
+                for job, count in pending.items():
+                    launch(job, count)
+        """
+        assert "DET003" in rules_of(lint(source))
+
+    def test_set_literal_flagged(self):
+        source = """
+            def pick():
+                for machine in {3, 1, 2}:
+                    yield machine
+        """
+        assert "DET003" in rules_of(lint(source))
+
+    def test_local_set_variable_flagged(self):
+        source = """
+            def pick(candidates):
+                hot = set(candidates)
+                for machine in hot:
+                    yield machine
+        """
+        assert "DET003" in rules_of(lint(source))
+
+    def test_self_attribute_set_flagged(self):
+        source = """
+            class Scheduler:
+                def __init__(self):
+                    self.blocked = set()
+
+                def pick(self):
+                    for machine in self.blocked:
+                        yield machine
+        """
+        assert "DET003" in rules_of(lint(source))
+
+    def test_list_wrapper_still_flagged(self):
+        source = """
+            def pick(table):
+                for row in list(table.values()):
+                    yield row
+        """
+        assert "DET003" in rules_of(lint(source))
+
+    def test_sorted_not_flagged(self):
+        source = """
+            def place(pending):
+                for job, count in sorted(pending.items()):
+                    launch(job, count)
+        """
+        assert lint(source) == []
+
+    def test_order_insensitive_consumer_not_flagged(self):
+        source = """
+            def total(usage):
+                return sum(cpu for cpu in usage.values())
+        """
+        assert lint(source) == []
+
+    def test_outside_decision_path_not_flagged(self):
+        source = """
+            def report(rows):
+                for name, value in rows.items():
+                    print(name, value)
+        """
+        assert lint(source, path="repro/experiments/report.py") == []
+
+    def test_list_iteration_not_flagged(self):
+        source = """
+            def place(machines):
+                for machine in machines:
+                    yield machine
+        """
+        assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# TXN001 — cell-state writes outside the commit path
+# ----------------------------------------------------------------------
+class TestTXN001:
+    def test_direct_subscript_write_flagged(self):
+        source = """
+            def hack(state, machine):
+                state.free_cpu[machine] -= 1.0
+        """
+        assert "TXN001" in rules_of(lint(source))
+
+    def test_attribute_write_flagged(self):
+        source = """
+            def hack(state, values):
+                state.free_mem = values
+        """
+        assert "TXN001" in rules_of(lint(source))
+
+    def test_sequence_bump_flagged(self):
+        source = """
+            def hack(self, machine):
+                self.state.seq[machine] += 1
+        """
+        assert "TXN001" in rules_of(lint(source))
+
+    def test_aliased_array_write_flagged(self):
+        source = """
+            def hack(state, machine):
+                free = state.free_cpu
+                free[machine] = 0.0
+        """
+        assert "TXN001" in rules_of(lint(source))
+
+    def test_snapshot_write_not_flagged(self):
+        source = """
+            def mask(snapshot, machine):
+                snapshot.free_cpu[machine] = 0.0
+        """
+        assert lint(source) == []
+
+    def test_copy_breaks_alias(self):
+        source = """
+            def plan(state, machine):
+                free = state.free_cpu.copy()
+                free[machine] = 0.0
+        """
+        assert lint(source) == []
+
+    def test_own_init_not_flagged(self):
+        source = """
+            class Offer:
+                def __init__(self, free_cpu):
+                    self.free_cpu = free_cpu
+        """
+        assert lint(source) == []
+
+    def test_allowlisted_module_not_flagged(self):
+        source = """
+            def claim(self, machine):
+                self.free_cpu[machine] -= 1.0
+        """
+        assert lint(source, path="repro/core/cellstate.py") == []
+
+    def test_read_not_flagged(self):
+        source = """
+            def look(state, machine):
+                return state.free_cpu[machine]
+        """
+        assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# FLT001 — exact float comparison on resources
+# ----------------------------------------------------------------------
+class TestFLT001:
+    def test_eq_on_cpu_flagged(self):
+        source = """
+            def check(job):
+                return job.cpu_per_task == 0
+        """
+        assert rules_of(lint(source)) == ["FLT001"]
+
+    def test_neq_on_free_mem_flagged(self):
+        source = """
+            def check(a, b):
+                return a.free_mem != b.free_mem
+        """
+        assert rules_of(lint(source)) == ["FLT001"]
+
+    def test_utilization_flagged(self):
+        source = """
+            def check(state):
+                return state.cpu_utilization == 1.0
+        """
+        assert rules_of(lint(source)) == ["FLT001"]
+
+    def test_epsilon_comparison_not_flagged(self):
+        source = """
+            def check(a, b, EPSILON):
+                return abs(a.free_cpu - b.free_cpu) <= EPSILON
+        """
+        assert lint(source) == []
+
+    def test_string_comparison_not_flagged(self):
+        source = """
+            def check(policy):
+                return policy.cpu_mode == "strict"
+        """
+        assert lint(source) == []
+
+    def test_non_resource_identifiers_not_flagged(self):
+        source = """
+            def check(claim, ok):
+                return ok == claim.count
+        """
+        assert lint(source) == []
+
+    def test_none_comparison_not_flagged(self):
+        source = """
+            def check(limits):
+                return limits.max_cpu == None
+        """
+        assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
+# GEN001 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestGEN001:
+    def test_list_default_flagged(self):
+        assert rules_of(lint("def f(items=[]):\n    return items\n")) == ["GEN001"]
+
+    def test_dict_default_flagged(self):
+        assert rules_of(lint("def f(table={}):\n    return table\n")) == ["GEN001"]
+
+    def test_set_constructor_default_flagged(self):
+        source = "def f(seen=set()):\n    return seen\n"
+        assert rules_of(lint(source)) == ["GEN001"]
+
+    def test_kwonly_default_flagged(self):
+        source = "def f(*, items=[]):\n    return items\n"
+        assert rules_of(lint(source)) == ["GEN001"]
+
+    def test_none_default_not_flagged(self):
+        assert lint("def f(items=None):\n    return items\n") == []
+
+    def test_tuple_default_not_flagged(self):
+        assert lint("def f(items=()):\n    return items\n") == []
