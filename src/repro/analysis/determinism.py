@@ -8,9 +8,17 @@ only real-time value in a trace record) are ignored; everything else,
 including simulated times, scheduler/job ids, and commit outcomes, must
 be byte-identical. The returned experiment rows are compared too.
 
+A second mode (:func:`run_parallel_gate`, ``--compare-jobs N``)
+compares a *serial* run against the same experiment fanned out over N
+worker processes (see :mod:`repro.perf.parallel`): parallel execution
+is only admissible because it is observationally identical to serial,
+and this gate is where that claim is enforced end-to-end — rows and
+traces both.
+
 Run it directly (used by CI)::
 
     python -m repro.analysis.determinism --scale 0.05 --hours 0.5
+    python -m repro.analysis.determinism --scale 0.05 --hours 0.5 --compare-jobs 4
 
 Note the gate runs both passes in one process, so it cannot see
 ``PYTHONHASHSEED``-dependent divergence between *processes* — that is
@@ -140,29 +148,65 @@ def run_gate(
     )
 
 
+def run_parallel_gate(
+    experiment: Callable[[int], Any],
+    jobs: int,
+    ignore_fields: Sequence[str] = WALL_FIELDS,
+) -> DeterminismReport:
+    """Diff a serial run against a ``jobs``-worker parallel run.
+
+    ``experiment`` takes the worker count and must otherwise be
+    self-seeding; it is called with ``1`` and then with ``jobs``. The
+    comparison is exactly the double-run gate's: traces modulo wall
+    time, plus return values — parallel execution must be
+    observationally indistinguishable from serial.
+    """
+    if jobs < 2:
+        raise ValueError(f"--compare-jobs needs >= 2 workers, got {jobs}")
+    result_serial, trace_serial = _run_traced(lambda: experiment(1))
+    result_parallel, trace_parallel = _run_traced(lambda: experiment(jobs))
+    divergences = diff_traces(trace_serial, trace_parallel, ignore_fields)
+    if not values_equal(result_serial, result_parallel):
+        divergences.append(
+            f"experiment rows differ between --jobs 1 and --jobs {jobs}"
+        )
+    return DeterminismReport(
+        records_a=len(trace_serial),
+        records_b=len(trace_parallel),
+        divergences=divergences,
+    )
+
+
 # ----------------------------------------------------------------------
 # CLI (CI entry point)
 # ----------------------------------------------------------------------
 def _representative_experiment(
     name: str, seed: int, scale: float, horizon: float
-) -> Callable[[], Any]:
-    """A small experiment that exercises the full Omega txn pipeline."""
+) -> Callable[[int], Any]:
+    """A small experiment that exercises the full Omega txn pipeline.
+
+    The returned callable takes the worker count (``jobs``), so the same
+    experiments serve the double-run gate (called with the default) and
+    the serial-vs-parallel gate.
+    """
     if name == "fig5c":
         from repro.experiments.omega import figure5c_6c_rows
 
-        return lambda: figure5c_6c_rows(
-            t_jobs=(1.0,), horizon=horizon, seed=seed, scale=scale
+        return lambda jobs=1: figure5c_6c_rows(
+            t_jobs=(1.0,), horizon=horizon, seed=seed, scale=scale, jobs=jobs
         )
     if name == "fig8":
         from repro.experiments.omega import figure8_rows
 
-        return lambda: figure8_rows(
-            factors=(1.0, 4.0), horizon=horizon, seed=seed, scale=scale
+        return lambda jobs=1: figure8_rows(
+            factors=(1.0, 4.0), horizon=horizon, seed=seed, scale=scale, jobs=jobs
         )
     if name == "fig14":
         from repro.experiments.conflict_modes import figure14_rows
 
-        return lambda: figure14_rows(horizon=horizon, seed=seed, scale=scale)
+        return lambda jobs=1: figure14_rows(
+            horizon=horizon, seed=seed, scale=scale, jobs=jobs
+        )
     raise ValueError(f"unknown experiment: {name!r}")
 
 
@@ -186,6 +230,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--hours", type=float, default=0.5, help="simulated horizon in hours"
     )
+    parser.add_argument(
+        "--compare-jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="instead of double-running serially, compare --jobs 1 "
+        "against --jobs N of the same experiment (N >= 2)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -195,7 +247,14 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # pragma: no cover - argparse choices guard this
         print(f"determinism gate: {exc}", file=sys.stderr)
         return 2
-    report = run_gate(experiment)
+    if args.compare_jobs:
+        try:
+            report = run_parallel_gate(experiment, args.compare_jobs)
+        except ValueError as exc:
+            print(f"determinism gate: {exc}", file=sys.stderr)
+            return 2
+    else:
+        report = run_gate(experiment)
     print(report.render())
     if report.records_a == 0:
         print(

@@ -14,6 +14,9 @@ object") and are bumped on every state change.
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import islice
+
 import numpy as np
 
 from repro.cluster import Cell
@@ -22,6 +25,11 @@ from repro.cluster import Cell
 #: considered able to hold a task if the request exceeds the free amount
 #: by no more than this.
 EPSILON = 1e-9
+
+#: How many mutations the master's dirty-machine changelog remembers.
+#: A snapshot that fell further behind than this resyncs with a full
+#: copy instead of a delta (see :meth:`CellSnapshot.resync`).
+DEFAULT_CHANGELOG_CAPACITY = 4096
 
 
 class OvercommitError(RuntimeError):
@@ -40,9 +48,18 @@ class CellSnapshot:
     planning (placement subtracts planned claims so one job's tasks
     stack correctly), and the master copy is only changed by
     :func:`repro.core.transaction.commit`.
+
+    A snapshot remembers the master ``version`` it was taken at, which
+    lets :meth:`resync` refresh it *incrementally*: instead of re-copying
+    all three per-machine arrays, only the machines the master touched
+    since (plus any the holder dirtied locally, see
+    :meth:`note_local_write`) are re-copied. This is the hot-path
+    optimisation for the Omega retry loop — the paper's
+    "frequently-updated copy" (§3.4) no longer costs O(machines) per
+    transaction.
     """
 
-    __slots__ = ("free_cpu", "free_mem", "seq", "time")
+    __slots__ = ("free_cpu", "free_mem", "seq", "time", "version", "_local_dirty")
 
     def __init__(
         self,
@@ -50,15 +67,78 @@ class CellSnapshot:
         free_mem: np.ndarray,
         seq: np.ndarray,
         time: float,
+        version: int = 0,
     ) -> None:
         self.free_cpu = free_cpu
         self.free_mem = free_mem
         self.seq = seq
         self.time = time
+        #: Master :attr:`CellState.version` this snapshot reflects.
+        self.version = version
+        self._local_dirty: set[int] = set()
 
     @property
     def num_machines(self) -> int:
         return self.free_cpu.shape[0]
+
+    def note_local_write(self, machine: int) -> None:
+        """Record that the holder mutated ``machine`` in this snapshot.
+
+        Planning scratch-writes (e.g. hot-machine masking) are invisible
+        to the master's changelog; registering them here makes
+        :meth:`resync` restore those machines from the master copy even
+        when the master itself did not touch them.
+        """
+        self._local_dirty.add(int(machine))
+
+    def resync(self, state: "CellState", time: float | None = None) -> "CellSnapshot":
+        """Refresh this snapshot to the master's current state, in place.
+
+        Applies only the machines recorded in the master's changelog
+        since this snapshot's :attr:`version` (plus locally-dirtied
+        ones); falls back to a full three-array copy when the bounded
+        changelog no longer covers the gap. Either way the result is
+        element-wise identical to a fresh :meth:`CellState.snapshot`
+        (property-tested in ``tests/core/test_resync.py``).
+        """
+        behind = state.version - self.version
+        if behind < 0:
+            raise ValueError(
+                f"snapshot version {self.version} is ahead of master "
+                f"version {state.version}; resync against the state the "
+                "snapshot was taken from"
+            )
+        if time is not None:
+            self.time = time
+        log = state._changelog
+        if behind > len(log) or behind >= state.num_machines:
+            self._full_sync(state)
+        elif behind or self._local_dirty:
+            # The last ``behind`` changelog entries, iterated from the
+            # back so this is O(behind), not O(changelog capacity).
+            # Duplicate indices are harmless — every write copies the
+            # master's value for that machine — so no dedup/sort pass.
+            index = np.fromiter(
+                islice(reversed(log), behind), dtype=np.intp, count=behind
+            )
+            if self._local_dirty:
+                index = np.concatenate(
+                    [index, np.fromiter(sorted(self._local_dirty), dtype=np.intp)]
+                )
+            if index.size * 4 >= state.num_machines:
+                self._full_sync(state)
+            else:
+                self.free_cpu[index] = state.free_cpu[index]
+                self.free_mem[index] = state.free_mem[index]
+                self.seq[index] = state.seq[index]
+        self._local_dirty.clear()
+        self.version = state.version
+        return self
+
+    def _full_sync(self, state: "CellState") -> None:
+        np.copyto(self.free_cpu, state.free_cpu)
+        np.copyto(self.free_mem, state.free_mem)
+        np.copyto(self.seq, state.seq)
 
 
 class CellState:
@@ -71,13 +151,26 @@ class CellState:
     * sequence numbers never decrease.
     """
 
-    def __init__(self, cell: Cell) -> None:
+    def __init__(
+        self, cell: Cell, changelog_capacity: int = DEFAULT_CHANGELOG_CAPACITY
+    ) -> None:
+        if changelog_capacity < 0:
+            raise ValueError(
+                f"changelog_capacity must be >= 0, got {changelog_capacity}"
+            )
         self.cell = cell
         self.free_cpu = cell.cpu_capacity.copy()
         self.free_mem = cell.mem_capacity.copy()
         self.seq = np.zeros(len(cell), dtype=np.int64)
         self._used_cpu = 0.0
         self._used_mem = 0.0
+        #: Global mutation counter: bumped once per claim/release. The
+        #: changelog holds the machine index of each of the last
+        #: ``changelog_capacity`` mutations, in version order, so a
+        #: snapshot at version ``v`` can delta-sync iff
+        #: ``version - v <= len(changelog)``.
+        self.version = 0
+        self._changelog: deque[int] = deque(maxlen=changelog_capacity)
 
     # ------------------------------------------------------------------
     # Reads
@@ -114,7 +207,11 @@ class CellState:
         """Take a private copy of the current state (sync point of an
         Omega transaction)."""
         return CellSnapshot(
-            self.free_cpu.copy(), self.free_mem.copy(), self.seq.copy(), time
+            self.free_cpu.copy(),
+            self.free_mem.copy(),
+            self.seq.copy(),
+            time,
+            version=self.version,
         )
 
     def fits(self, machine: int, cpu: float, mem: float, count: int = 1) -> bool:
@@ -159,6 +256,7 @@ class CellState:
         self._used_cpu += total_cpu
         self._used_mem += total_mem
         self.seq[machine] += 1
+        self._touch(machine)
 
     def release(self, machine: int, cpu: float, mem: float, count: int = 1) -> None:
         """Return ``count`` tasks' resources on ``machine`` (task end or
@@ -177,12 +275,24 @@ class CellState:
                 f"release of {count} x ({cpu} cpu, {mem} mem) on machine "
                 f"{machine} exceeds its capacity"
             )
+        # Subtract only the delta actually applied to the free arrays:
+        # when the clamp below trims float dust off ``new_free_*``, the
+        # used totals must shrink by the trimmed amount too, or they
+        # drift away from ``capacity - free.sum()``.
+        old_free_cpu = float(self.free_cpu[machine])
+        old_free_mem = float(self.free_mem[machine])
         self.free_cpu[machine] = min(new_free_cpu, self.cell.cpu_capacity[machine])
         self.free_mem[machine] = min(new_free_mem, self.cell.mem_capacity[machine])
-        self._used_cpu -= total_cpu
-        self._used_mem -= total_mem
+        self._used_cpu -= float(self.free_cpu[machine]) - old_free_cpu
+        self._used_mem -= float(self.free_mem[machine]) - old_free_mem
         if self._used_cpu < 0.0:
             self._used_cpu = 0.0
         if self._used_mem < 0.0:
             self._used_mem = 0.0
         self.seq[machine] += 1
+        self._touch(machine)
+
+    def _touch(self, machine: int) -> None:
+        """Record one mutation of ``machine`` in the bounded changelog."""
+        self.version += 1
+        self._changelog.append(int(machine))

@@ -41,11 +41,7 @@ def randomized_first_fit(
     insufficient room, in which case the scheduler retries the job
     later, per the paper's incremental-placement policy).
     """
-    if num_tasks < 1:
-        raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
-    if cpu <= 0 and mem <= 0:
-        raise ValueError("tasks must request some resource")
-
+    _validate(cpu, mem, num_tasks)
     candidates = np.flatnonzero(
         (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
     )

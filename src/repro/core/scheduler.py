@@ -108,14 +108,28 @@ class OmegaScheduler(QueueScheduler):
             )
         self.conflict_avoidance_cooldown = conflict_avoidance_cooldown
         self._hot_machines: dict[int, float] = {}
+        #: Persistent private view of cell state, reused across attempts
+        #: via incremental :meth:`~repro.core.cellstate.CellSnapshot.resync`
+        #: instead of a fresh full copy per transaction.
+        self._view: CellSnapshot | None = None
 
     # ------------------------------------------------------------------
     def decision_time(self, job: Job) -> float:
         return self._decision_times[job.job_type].duration(job.unplaced_tasks)
 
     def begin_attempt(self, job: Job) -> None:
-        """Sync: refresh the private copy of cell state."""
-        self._snapshot = self.state.snapshot(self.sim.now)
+        """Sync: refresh the private copy of cell state.
+
+        The first sync takes a full snapshot; every later one — the
+        retry loop's "resyncs its local copy ... and tries again" —
+        applies only the machines touched since (see
+        :meth:`repro.core.cellstate.CellSnapshot.resync`).
+        """
+        if self._view is None:
+            self._view = self.state.snapshot(self.sim.now)
+        else:
+            self._view.resync(self.state, self.sim.now)
+        self._snapshot = self._view
         rec = _obs.RECORDER
         if rec.enabled:
             # "The time from state synchronization to the commit attempt
@@ -145,6 +159,9 @@ class OmegaScheduler(QueueScheduler):
         for machine in sorted(self._hot_machines):
             snapshot.free_cpu[machine] = 0.0
             snapshot.free_mem[machine] = 0.0
+            # The view is reused across attempts; the next resync must
+            # restore these machines from the master copy.
+            snapshot.note_local_write(machine)
 
     def _note_conflicts(self, rejected) -> None:
         if self.conflict_avoidance_cooldown <= 0:

@@ -4,6 +4,11 @@ Each function returns result rows; the corresponding benchmark under
 ``benchmarks/bench_ablation_*.py`` prints and asserts them, and the
 ``omega-sim ablation-*`` commands expose them on the CLI. See DESIGN.md
 section 5 for the paper grounding of each ablation.
+
+Every ablation is a list of independent configurations, so each driver
+accepts ``jobs`` and fans its points out through
+:func:`repro.experiments.sweeps.run_sweep` (or
+:func:`repro.perf.parallel.parallel_map` for custom row shapes).
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ from typing import Sequence
 
 from repro.experiments.common import LightweightConfig, run_lightweight
 from repro.experiments.mesos import pathology_preset
-from repro.experiments.sweeps import result_row
+from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.perf.parallel import parallel_map
 from repro.schedulers.base import DecisionTimeModel
 from repro.workload.clusters import CLUSTER_A, CLUSTER_B
 from repro.workload.job import JobType
@@ -24,28 +30,27 @@ def offer_policy_rows(
     horizon: float = 2 * 3600.0,
     seed: int = 11,
     attempt_limit: int = 200,
+    jobs: int = 1,
 ) -> list[dict]:
     """Mesos offer-everything vs fair-share-sized offers (paper §4.2's
     discussion with the Mesos team) on the pathology workload."""
     preset = pathology_preset()
-    rows = []
+    points: list[SweepPoint] = []
     for offer_policy in ("all", "fair_share"):
         for t_job in t_jobs:
-            result = run_lightweight(
-                LightweightConfig(
-                    preset=preset,
-                    architecture="mesos",
-                    horizon=horizon,
-                    seed=seed,
-                    service_model=DecisionTimeModel(t_job=t_job),
-                    mesos_offer_policy=offer_policy,
-                    attempt_limit=attempt_limit,
-                )
+            config = LightweightConfig(
+                preset=preset,
+                architecture="mesos",
+                horizon=horizon,
+                seed=seed,
+                service_model=DecisionTimeModel(t_job=t_job),
+                mesos_offer_policy=offer_policy,
+                attempt_limit=attempt_limit,
             )
-            rows.append(
-                result_row(result, offer_policy=offer_policy, t_job_service=t_job)
+            points.append(
+                (config, {"offer_policy": offer_policy, "t_job_service": t_job})
             )
-    return rows
+    return run_sweep(points, jobs=jobs)
 
 
 def _contention_config(scale: float, horizon: float, **kwargs) -> LightweightConfig:
@@ -66,35 +71,32 @@ def _contention_config(scale: float, horizon: float, **kwargs) -> LightweightCon
 
 
 def retry_position_rows(
-    scale: float = 0.2, horizon: float = 3600.0
+    scale: float = 0.2, horizon: float = 3600.0, jobs: int = 1
 ) -> list[dict]:
     """Conflicted-job requeue at the queue head (the paper's immediate
     retry) vs the tail."""
-    rows = []
-    for retry_at_front in (True, False):
-        result = run_lightweight(
+    points: list[SweepPoint] = [
+        (
             _contention_config(
                 scale, horizon, retry_conflicts_at_front=retry_at_front
-            )
+            ),
+            {"retry_position": "head" if retry_at_front else "tail"},
         )
-        rows.append(
-            result_row(
-                result, retry_position="head" if retry_at_front else "tail"
-            )
-        )
-    return rows
+        for retry_at_front in (True, False)
+    ]
+    return run_sweep(points, jobs=jobs)
 
 
 def initial_utilization_rows(
     fills: Sequence[float] = (0.3, 0.6, 0.8),
     scale: float = 0.2,
     horizon: float = 3600.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Conflict fraction vs standing cluster fullness."""
     preset = CLUSTER_B.scaled(scale)
-    rows = []
-    for fill in fills:
-        result = run_lightweight(
+    points: list[SweepPoint] = [
+        (
             LightweightConfig(
                 preset=preset,
                 architecture="omega",
@@ -103,72 +105,84 @@ def initial_utilization_rows(
                 num_batch_schedulers=16,
                 batch_rate_factor=6.0,
                 initial_utilization=fill,
-            )
+            ),
+            {"initial_utilization": fill},
         )
-        rows.append(result_row(result, initial_utilization=fill))
-    return rows
+        for fill in fills
+    ]
+    return run_sweep(points, jobs=jobs)
+
+
+def _preemption_point(point: tuple[bool, LightweightConfig]) -> dict:
+    """Run one preemption on/off point (parallel-worker body)."""
+    enabled, config = point
+    result = run_lightweight(config)
+    return {
+        "preemption": "on" if enabled else "off",
+        "wait_service": result.mean_wait(JobType.SERVICE),
+        "wait_batch": result.mean_wait(JobType.BATCH),
+        "tasks_preempted": result.preemptions_caused("service"),
+        "batch_tasks_lost": result.tasks_lost_to_preemption("batch"),
+        "unscheduled_fraction": result.unscheduled_fraction,
+        "utilization": result.final_cpu_utilization,
+    }
 
 
 def preemption_rows(
-    scale: float = 0.2, horizon: float = 2 * 3600.0, seed: int = 3
+    scale: float = 0.2, horizon: float = 2 * 3600.0, seed: int = 3, jobs: int = 1
 ) -> list[dict]:
     """Priority preemption on vs off on a nearly-full cell."""
     preset = dataclasses.replace(
         CLUSTER_A.scaled(scale), initial_utilization=0.85
     )
-    rows = []
-    for enabled in (False, True):
-        result = run_lightweight(
+    points = [
+        (
+            enabled,
             LightweightConfig(
                 preset=preset,
                 architecture="omega",
                 horizon=horizon,
                 seed=seed,
                 enable_preemption=enabled,
-            )
+            ),
         )
-        rows.append(
-            {
-                "preemption": "on" if enabled else "off",
-                "wait_service": result.mean_wait(JobType.SERVICE),
-                "wait_batch": result.mean_wait(JobType.BATCH),
-                "tasks_preempted": result.preemptions_caused("service"),
-                "batch_tasks_lost": result.tasks_lost_to_preemption("batch"),
-                "unscheduled_fraction": result.unscheduled_fraction,
-                "utilization": result.final_cpu_utilization,
-            }
-        )
-    return rows
+        for enabled in (False, True)
+    ]
+    return parallel_map(_preemption_point, points, jobs=jobs)
 
 
 def placement_strategy_rows(
     strategies: Sequence[str] = ("worst-fit", "random-first-fit", "best-fit"),
     scale: float = 0.2,
     horizon: float = 3600.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Placement strategy vs interference (why the paper's hifi
     simulator conflicts more than its lightweight one)."""
-    rows = []
-    for strategy in strategies:
-        result = run_lightweight(
-            _contention_config(scale, horizon, placement_strategy=strategy)
+    points: list[SweepPoint] = [
+        (
+            _contention_config(scale, horizon, placement_strategy=strategy),
+            {"placement_strategy": strategy},
         )
-        rows.append(result_row(result, placement_strategy=strategy))
-    return rows
+        for strategy in strategies
+    ]
+    return run_sweep(points, jobs=jobs)
 
 
 def backoff_rows(
     cooldowns: Sequence[float] = (0.0, 5.0, 30.0),
     scale: float = 0.2,
     horizon: float = 3600.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """OCC hot-machine backoff windows (paper §8 future work)."""
-    rows = []
-    for cooldown in cooldowns:
-        result = run_lightweight(
+    points: list[SweepPoint] = [
+        (
             _contention_config(
                 scale, horizon, conflict_avoidance_cooldown=cooldown
-            )
+            ),
+            {"cooldown_s": cooldown},
         )
-        rows.append(result_row(result, cooldown_s=cooldown))
-    return rows
+        for cooldown in cooldowns
+    ]
+    return run_sweep(points, jobs=jobs)

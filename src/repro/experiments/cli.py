@@ -21,6 +21,11 @@ Static analysis (see ``docs/STATIC_ANALYSIS.md``): ``omega-sim lint
 transaction-safety and resource-arithmetic invariants) and exits
 non-zero on findings; ``--format json`` emits a machine-readable
 report.
+
+Performance (see ``docs/PERFORMANCE.md``): sweep commands accept
+``--jobs N`` to fan independent sweep points across worker processes
+(results are byte-identical to ``--jobs 1``); ``omega-sim bench`` runs
+the curated performance benchmarks and regression gate.
 """
 
 from __future__ import annotations
@@ -39,14 +44,18 @@ from repro.experiments import sweep3d, tables, workload_char
 from repro.experiments.common import format_table
 from repro.experiments.io import save_rows
 from repro.metrics.ascii_chart import line_chart
+from repro.perf.parallel import resolve_jobs
 
 
 def _scaled_kwargs(args: argparse.Namespace) -> dict:
-    return {
+    kwargs = {
         "horizon": args.hours * 3600.0,
         "seed": args.seed,
         "scale": args.scale,
     }
+    if args.command in JOBS_COMMANDS:
+        kwargs["jobs"] = args.jobs
+    return kwargs
 
 
 def _cmd_fig2(args) -> list[dict]:
@@ -126,34 +135,39 @@ def _cmd_fig16(args) -> list[dict]:
 
 
 def _cmd_ablation_offer(args) -> list[dict]:
-    return ablations.offer_policy_rows(horizon=args.hours * 3600.0, seed=args.seed)
+    return ablations.offer_policy_rows(
+        horizon=args.hours * 3600.0, seed=args.seed, jobs=args.jobs
+    )
 
 
 def _cmd_ablation_retry(args) -> list[dict]:
     return ablations.retry_position_rows(
-        scale=args.scale, horizon=args.hours * 3600.0
+        scale=args.scale, horizon=args.hours * 3600.0, jobs=args.jobs
     )
 
 
 def _cmd_ablation_util(args) -> list[dict]:
     return ablations.initial_utilization_rows(
-        scale=args.scale, horizon=args.hours * 3600.0
+        scale=args.scale, horizon=args.hours * 3600.0, jobs=args.jobs
     )
 
 
 def _cmd_ablation_preemption(args) -> list[dict]:
     return ablations.preemption_rows(
-        scale=args.scale, horizon=args.hours * 3600.0, seed=args.seed
+        scale=args.scale, horizon=args.hours * 3600.0, seed=args.seed,
+        jobs=args.jobs,
     )
 
 
 def _cmd_ablation_backoff(args) -> list[dict]:
-    return ablations.backoff_rows(scale=args.scale, horizon=args.hours * 3600.0)
+    return ablations.backoff_rows(
+        scale=args.scale, horizon=args.hours * 3600.0, jobs=args.jobs
+    )
 
 
 def _cmd_ablation_placement(args) -> list[dict]:
     return ablations.placement_strategy_rows(
-        scale=args.scale, horizon=args.hours * 3600.0
+        scale=args.scale, horizon=args.hours * 3600.0, jobs=args.jobs
     )
 
 
@@ -202,6 +216,28 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     ),
     "validate": (_cmd_validate, "sanity-check the cluster presets"),
 }
+
+#: Commands whose sweep points fan out across worker processes with
+#: --jobs N (see repro.perf.parallel); the rest run serially and say so.
+JOBS_COMMANDS = frozenset(
+    {
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "partitioned",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig14",
+        "ablation-offer",
+        "ablation-retry",
+        "ablation-util",
+        "ablation-preemption",
+        "ablation-backoff",
+        "ablation-placement",
+    }
+)
 
 
 #: Commands that can render an ASCII chart with --plot:
@@ -286,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="also save the rows to FILE (.json or .csv)",
         )
         sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent sweep points "
+            "(0 = all cores; results are identical to --jobs 1)",
+        )
+        sub.add_argument(
             "--trace",
             metavar="FILE",
             help="record a structured JSONL trace of every simulation run "
@@ -305,6 +348,38 @@ def build_parser() -> argparse.ArgumentParser:
         "rules; see docs/STATIC_ANALYSIS.md)",
     )
     lint.add_lint_arguments(lint_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the curated performance benchmarks and regression gate "
+        "(snapshot resync, placement packing, event-loop throughput, "
+        "serial-vs-parallel sweep; see docs/PERFORMANCE.md)",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale sizes; timing floors are reported, not enforced",
+    )
+    bench_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the serial-vs-parallel sweep benchmark",
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", help="write the result JSON to FILE"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="committed baseline JSON to gate against (e.g. BENCH_PR3.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative throughput-regression tolerance vs the baseline",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -352,7 +427,19 @@ def main(argv: list[str] | None = None) -> int:
         return lint.run_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        from repro.perf.bench import main_bench
+
+        return main_bench(args)
     command, _ = COMMANDS[args.command]
+    if getattr(args, "jobs", 1) != 1:
+        args.jobs = resolve_jobs(args.jobs)
+        if args.command not in JOBS_COMMANDS:
+            print(
+                f"omega-sim: {args.command} does not support --jobs; "
+                "running serially",
+                file=sys.stderr,
+            )
 
     recorder = None
     if getattr(args, "trace", None):

@@ -18,6 +18,7 @@ from repro.experiments.common import DAY
 from repro.experiments.hifi_perf import make_trace
 from repro.hifi.replay import HighFidelityConfig, run_hifi
 from repro.hifi.trace import Trace
+from repro.perf.parallel import parallel_map
 from repro.schedulers.base import DecisionTimeModel
 from repro.workload.job import JobType
 
@@ -30,6 +31,22 @@ MODES = (
 )
 
 
+def _mode_point(point: tuple[str, float, HighFidelityConfig]) -> dict:
+    """Run one (mode, t_job) point of Figure 14 (parallel-worker body)."""
+    label, t_job, config = point
+    result = run_hifi(config)
+    return {
+        "mode": label,
+        "t_job_service": t_job,
+        "conflict_service": result.conflict_fraction("service"),
+        "conflict_batch": result.conflict_fraction("batch"),
+        "busy_service": result.busyness("service"),
+        "busy_batch": result.busyness("batch"),
+        "wait_service": result.mean_wait(JobType.SERVICE),
+        "unscheduled_fraction": result.unscheduled_fraction,
+    }
+
+
 def figure14_rows(
     trace: Trace | None = None,
     t_jobs: Sequence[float] = (1.0, 10.0, 100.0),
@@ -37,32 +54,28 @@ def figure14_rows(
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> list[dict]:
-    """Sweep t_job(service) under each conflict/commit mode pair."""
+    """Sweep t_job(service) under each conflict/commit mode pair.
+
+    All mode/t_job pairs replay the *same* trace, so the sweep is a flat
+    list of independent points — ``jobs > 1`` fans them out.
+    """
     if trace is None:
         trace = make_trace(cluster, horizon, seed=seed, scale=scale)
-    rows = []
-    for label, conflict_mode, commit_mode in MODES:
-        for t_job in t_jobs:
-            result = run_hifi(
-                HighFidelityConfig(
-                    trace=trace,
-                    seed=seed,
-                    service_model=DecisionTimeModel(t_job=t_job),
-                    conflict_mode=conflict_mode,
-                    commit_mode=commit_mode,
-                )
-            )
-            rows.append(
-                {
-                    "mode": label,
-                    "t_job_service": t_job,
-                    "conflict_service": result.conflict_fraction("service"),
-                    "conflict_batch": result.conflict_fraction("batch"),
-                    "busy_service": result.busyness("service"),
-                    "busy_batch": result.busyness("batch"),
-                    "wait_service": result.mean_wait(JobType.SERVICE),
-                    "unscheduled_fraction": result.unscheduled_fraction,
-                }
-            )
-    return rows
+    points = [
+        (
+            label,
+            t_job,
+            HighFidelityConfig(
+                trace=trace,
+                seed=seed,
+                service_model=DecisionTimeModel(t_job=t_job),
+                conflict_mode=conflict_mode,
+                commit_mode=commit_mode,
+            ),
+        )
+        for label, conflict_mode, commit_mode in MODES
+        for t_job in t_jobs
+    ]
+    return parallel_map(_mode_point, points, jobs=jobs)

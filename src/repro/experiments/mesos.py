@@ -121,6 +121,7 @@ def figure7_rows(
     seed: int = 0,
     scale: float = 1.0,
     offer_policy: str = "all",
+    jobs: int = 1,
 ) -> list[dict]:
     """Mesos-style two-level scheduling under the service-time sweep.
 
@@ -136,4 +137,5 @@ def figure7_rows(
         seed=seed,
         scale=scale,
         mesos_offer_policy=offer_policy,
+        jobs=jobs,
     )

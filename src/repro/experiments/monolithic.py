@@ -26,6 +26,7 @@ def figure5a_6a_rows(
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Single-path monolithic: one decision time for every job."""
     return sweep_service_decision_time(
@@ -35,6 +36,7 @@ def figure5a_6a_rows(
         horizon=horizon,
         seed=seed,
         scale=scale,
+        jobs=jobs,
     )
 
 
@@ -44,6 +46,7 @@ def figure5b_6b_rows(
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Multi-path monolithic: fast batch path, swept service path."""
     return sweep_service_decision_time(
@@ -53,6 +56,7 @@ def figure5b_6b_rows(
         horizon=horizon,
         seed=seed,
         scale=scale,
+        jobs=jobs,
     )
 
 
@@ -63,6 +67,7 @@ def partitioned_rows(
     seed: int = 0,
     scale: float = 1.0,
     batch_share: float = 0.5,
+    jobs: int = 1,
 ) -> list[dict]:
     """Extension beyond the paper's plots: the statically partitioned
     scheduler of Table 1 measured under the same sweep, exposing the
@@ -75,4 +80,5 @@ def partitioned_rows(
         seed=seed,
         scale=scale,
         batch_partition_share=batch_share,
+        jobs=jobs,
     )

@@ -19,8 +19,9 @@ from repro.core.transaction import CommitMode, ConflictMode
 from repro.experiments.common import DAY
 from repro.experiments.sweeps import (
     DEFAULT_SWEEP_CLUSTERS,
+    batch_load_points,
+    run_sweep,
     saturation_point,
-    sweep_batch_load,
     sweep_service_decision_time,
 )
 
@@ -37,6 +38,7 @@ def figure5c_6c_rows(
     scale: float = 1.0,
     conflict_mode: ConflictMode = ConflictMode.FINE,
     commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    jobs: int = 1,
 ) -> list[dict]:
     """Shared-state scheduling under the service-time sweep."""
     return sweep_service_decision_time(
@@ -48,6 +50,7 @@ def figure5c_6c_rows(
         scale=scale,
         conflict_mode=conflict_mode,
         commit_mode=commit_mode,
+        jobs=jobs,
     )
 
 
@@ -57,6 +60,7 @@ def figure8_rows(
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Scaling the batch arrival rate on each cluster.
 
@@ -64,14 +68,14 @@ def figure8_rows(
     also recovers the quoted saturation points (A ~2.5x, B ~6x,
     C ~9.5x), reported via :func:`figure8_saturation_points`.
     """
-    rows = []
+    points = []
     for cluster in clusters:
-        rows.extend(
-            sweep_batch_load(
+        points.extend(
+            batch_load_points(
                 factors, cluster=cluster, horizon=horizon, seed=seed, scale=scale
             )
         )
-    return rows
+    return run_sweep(points, jobs=jobs)
 
 
 def figure8_saturation_points(rows: list[dict]) -> dict[str, float | None]:
@@ -90,12 +94,13 @@ def figure9_rows(
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
+    jobs: int = 1,
 ) -> list[dict]:
     """Load-balancing the batch workload over 1-32 Omega schedulers."""
-    rows = []
+    points = []
     for count in scheduler_counts:
-        rows.extend(
-            sweep_batch_load(
+        points.extend(
+            batch_load_points(
                 factors,
                 cluster=cluster,
                 num_batch_schedulers=count,
@@ -104,4 +109,4 @@ def figure9_rows(
                 scale=scale,
             )
         )
-    return rows
+    return run_sweep(points, jobs=jobs)

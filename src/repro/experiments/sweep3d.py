@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.core.transaction import CommitMode, ConflictMode
 from repro.experiments.common import DAY
-from repro.experiments.sweeps import busyness_surface
+from repro.experiments.sweeps import run_sweep, surface_points
 
 DEFAULT_T_JOBS = (0.1, 1.0, 10.0, 100.0)
 DEFAULT_T_TASKS = (0.001, 0.01, 0.1, 1.0)
@@ -37,13 +37,19 @@ def figure10_rows(
     seed: int = 0,
     scale: float = 1.0,
     schemes=SCHEMES,
+    jobs: int = 1,
     **config_kwargs,
 ) -> list[dict]:
-    """All five scheme surfaces; the scheme label lands in each row."""
-    rows = []
+    """All five scheme surfaces; the scheme label lands in each row.
+
+    The full scheme x t_job x t_task grid is one flat point list, so
+    ``jobs > 1`` parallelizes across the entire figure, not per panel.
+    """
+    points = []
+    labels = []
     for label, conflict_mode, commit_mode in schemes:
         architecture = "omega" if label.startswith("omega") else label
-        scheme_rows = busyness_surface(
+        scheme_points = surface_points(
             architecture,
             t_jobs,
             t_tasks,
@@ -55,7 +61,9 @@ def figure10_rows(
             commit_mode=commit_mode,
             **config_kwargs,
         )
-        for row in scheme_rows:
-            row["scheme"] = label
-        rows.extend(scheme_rows)
+        points.extend(scheme_points)
+        labels.extend([label] * len(scheme_points))
+    rows = run_sweep(points, jobs=jobs)
+    for row, label in zip(rows, labels):
+        row["scheme"] = label
     return rows

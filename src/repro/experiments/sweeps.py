@@ -3,6 +3,12 @@
 Each figure is a sweep of one decision-time or arrival-rate parameter
 with everything else held fixed; this module owns the common loop and
 row format so the per-figure modules stay declarative.
+
+Sweeps are materialized as lists of *points* — ``(LightweightConfig,
+extra_row_fields)`` pairs — and executed by :func:`run_sweep`, which
+fans independent points out across worker processes when ``jobs > 1``
+(see :mod:`repro.perf.parallel`). Every point carries its own master
+seed, so serial and parallel executions produce identical rows.
 """
 
 from __future__ import annotations
@@ -16,9 +22,14 @@ from repro.experiments.common import (
     LightweightResult,
     run_lightweight,
 )
+from repro.perf.parallel import parallel_map
 from repro.schedulers.base import DEFAULT_T_JOB, DEFAULT_T_TASK, DecisionTimeModel
 from repro.workload.clusters import preset_by_name
 from repro.workload.job import JobType
+
+#: One sweep point: the run's full configuration plus the extra fields
+#: (swept-parameter values, labels) merged into its result row.
+SweepPoint = tuple[LightweightConfig, dict]
 
 #: The paper's wait-time service level objective (30 s horizontal bar in
 #: Figure 5).
@@ -46,7 +57,19 @@ def result_row(result: LightweightResult, **extra) -> dict:
     return row
 
 
-def sweep_service_decision_time(
+def run_sweep_point(point: SweepPoint) -> dict:
+    """Run one sweep point to its result row (parallel-worker body)."""
+    config, extra = point
+    return result_row(run_lightweight(config), **extra)
+
+
+def run_sweep(points: Sequence[SweepPoint], jobs: int = 1) -> list[dict]:
+    """Run sweep points — serially or across ``jobs`` worker processes —
+    and return their rows in point order."""
+    return parallel_map(run_sweep_point, points, jobs=jobs)
+
+
+def service_decision_points(
     architecture: str,
     t_jobs: Sequence[float],
     clusters: Iterable[str] = DEFAULT_SWEEP_CLUSTERS,
@@ -57,36 +80,63 @@ def sweep_service_decision_time(
     conflict_mode: ConflictMode = ConflictMode.FINE,
     commit_mode: CommitMode = CommitMode.INCREMENTAL,
     **config_kwargs,
-) -> list[dict]:
-    """The x-axis sweep shared by Figures 5, 6 and 7: vary
-    t_job(service) (and, for the single-path monolithic scheduler, the
-    t_job applied to *every* job) while the batch path keeps defaults."""
-    rows = []
+) -> list[SweepPoint]:
+    """Points for the x-axis sweep shared by Figures 5, 6 and 7."""
+    points: list[SweepPoint] = []
     for cluster in clusters:
         preset = preset_by_name(cluster)
         if scale != 1.0:
             preset = preset.scaled(scale)
         for t_job in t_jobs:
-            result = run_lightweight(
-                LightweightConfig(
-                    preset=preset,
-                    architecture=architecture,
-                    horizon=horizon,
-                    seed=seed,
-                    batch_model=DecisionTimeModel(),
-                    service_model=DecisionTimeModel(t_job=t_job, t_task=t_task_service),
-                    conflict_mode=conflict_mode,
-                    commit_mode=commit_mode,
-                    **config_kwargs,
-                )
+            config = LightweightConfig(
+                preset=preset,
+                architecture=architecture,
+                horizon=horizon,
+                seed=seed,
+                batch_model=DecisionTimeModel(),
+                service_model=DecisionTimeModel(t_job=t_job, t_task=t_task_service),
+                conflict_mode=conflict_mode,
+                commit_mode=commit_mode,
+                **config_kwargs,
             )
-            rows.append(
-                result_row(result, cluster=cluster, t_job_service=t_job)
-            )
-    return rows
+            points.append((config, {"cluster": cluster, "t_job_service": t_job}))
+    return points
 
 
-def sweep_batch_load(
+def sweep_service_decision_time(
+    architecture: str,
+    t_jobs: Sequence[float],
+    clusters: Iterable[str] = DEFAULT_SWEEP_CLUSTERS,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    t_task_service: float = DEFAULT_T_TASK,
+    conflict_mode: ConflictMode = ConflictMode.FINE,
+    commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    jobs: int = 1,
+    **config_kwargs,
+) -> list[dict]:
+    """The x-axis sweep shared by Figures 5, 6 and 7: vary
+    t_job(service) (and, for the single-path monolithic scheduler, the
+    t_job applied to *every* job) while the batch path keeps defaults."""
+    return run_sweep(
+        service_decision_points(
+            architecture,
+            t_jobs,
+            clusters=clusters,
+            horizon=horizon,
+            seed=seed,
+            scale=scale,
+            t_task_service=t_task_service,
+            conflict_mode=conflict_mode,
+            commit_mode=commit_mode,
+            **config_kwargs,
+        ),
+        jobs=jobs,
+    )
+
+
+def batch_load_points(
     factors: Sequence[float],
     cluster: str = "B",
     num_batch_schedulers: int = 1,
@@ -95,9 +145,9 @@ def sweep_batch_load(
     scale: float = 1.0,
     dilate_decision_times: bool = True,
     **config_kwargs,
-) -> list[dict]:
-    """Figure 8/9's x-axis: scale the batch arrival rate (relative
-    lambda_jobs(batch)) on cluster B.
+) -> list[SweepPoint]:
+    """Points for Figure 8/9's x-axis: scale the batch arrival rate
+    (relative lambda_jobs(batch)).
 
     When the cell is scaled down, arrival rates shrink with it, which
     would move the saturation points (busyness = rate x decision time)
@@ -115,30 +165,57 @@ def sweep_batch_load(
     model = DecisionTimeModel(
         t_job=DEFAULT_T_JOB * dilation, t_task=DEFAULT_T_TASK * dilation
     )
-    rows = []
+    points: list[SweepPoint] = []
     for factor in factors:
-        result = run_lightweight(
-            LightweightConfig(
-                preset=preset,
-                architecture="omega",
-                horizon=horizon,
-                seed=seed,
-                batch_model=model,
-                service_model=model,
-                batch_rate_factor=factor,
-                num_batch_schedulers=num_batch_schedulers,
-                **config_kwargs,
+        config = LightweightConfig(
+            preset=preset,
+            architecture="omega",
+            horizon=horizon,
+            seed=seed,
+            batch_model=model,
+            service_model=model,
+            batch_rate_factor=factor,
+            num_batch_schedulers=num_batch_schedulers,
+            **config_kwargs,
+        )
+        points.append(
+            (
+                config,
+                {
+                    "cluster": cluster,
+                    "rate_factor": factor,
+                    "num_batch_schedulers": num_batch_schedulers,
+                },
             )
         )
-        rows.append(
-            result_row(
-                result,
-                cluster=cluster,
-                rate_factor=factor,
-                num_batch_schedulers=num_batch_schedulers,
-            )
-        )
-    return rows
+    return points
+
+
+def sweep_batch_load(
+    factors: Sequence[float],
+    cluster: str = "B",
+    num_batch_schedulers: int = 1,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    dilate_decision_times: bool = True,
+    jobs: int = 1,
+    **config_kwargs,
+) -> list[dict]:
+    """Figure 8/9's x-axis sweep (see :func:`batch_load_points`)."""
+    return run_sweep(
+        batch_load_points(
+            factors,
+            cluster=cluster,
+            num_batch_schedulers=num_batch_schedulers,
+            horizon=horizon,
+            seed=seed,
+            scale=scale,
+            dilate_decision_times=dilate_decision_times,
+            **config_kwargs,
+        ),
+        jobs=jobs,
+    )
 
 
 def saturation_point(rows: list[dict], threshold: float = 0.05) -> float | None:
@@ -152,7 +229,7 @@ def saturation_point(rows: list[dict], threshold: float = 0.05) -> float | None:
     return min(saturated) if saturated else None
 
 
-def busyness_surface(
+def surface_points(
     architecture: str,
     t_jobs: Sequence[float],
     t_tasks: Sequence[float],
@@ -163,6 +240,51 @@ def busyness_surface(
     conflict_mode: ConflictMode = ConflictMode.FINE,
     commit_mode: CommitMode = CommitMode.INCREMENTAL,
     **config_kwargs,
+) -> list[SweepPoint]:
+    """Points for Figure 10/11's t_job x t_task (service) surface."""
+    preset = preset_by_name(cluster)
+    if scale != 1.0:
+        preset = preset.scaled(scale)
+    points: list[SweepPoint] = []
+    for t_job in t_jobs:
+        for t_task in t_tasks:
+            config = LightweightConfig(
+                preset=preset,
+                architecture=architecture,
+                horizon=horizon,
+                seed=seed,
+                batch_model=DecisionTimeModel(),
+                service_model=DecisionTimeModel(t_job=t_job, t_task=t_task),
+                conflict_mode=conflict_mode,
+                commit_mode=commit_mode,
+                **config_kwargs,
+            )
+            points.append(
+                (
+                    config,
+                    {
+                        "architecture": architecture,
+                        "cluster": cluster,
+                        "t_job_service": t_job,
+                        "t_task_service": t_task,
+                    },
+                )
+            )
+    return points
+
+
+def busyness_surface(
+    architecture: str,
+    t_jobs: Sequence[float],
+    t_tasks: Sequence[float],
+    cluster: str = "B",
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    conflict_mode: ConflictMode = ConflictMode.FINE,
+    commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    jobs: int = 1,
+    **config_kwargs,
 ) -> list[dict]:
     """Figure 10/11's surface: busyness over t_job x t_task (service).
 
@@ -170,32 +292,18 @@ def busyness_surface(
     workload remained unscheduled; rows carry ``unscheduled_fraction``
     for the same purpose.
     """
-    preset = preset_by_name(cluster)
-    if scale != 1.0:
-        preset = preset.scaled(scale)
-    rows = []
-    for t_job in t_jobs:
-        for t_task in t_tasks:
-            result = run_lightweight(
-                LightweightConfig(
-                    preset=preset,
-                    architecture=architecture,
-                    horizon=horizon,
-                    seed=seed,
-                    batch_model=DecisionTimeModel(),
-                    service_model=DecisionTimeModel(t_job=t_job, t_task=t_task),
-                    conflict_mode=conflict_mode,
-                    commit_mode=commit_mode,
-                    **config_kwargs,
-                )
-            )
-            rows.append(
-                result_row(
-                    result,
-                    architecture=architecture,
-                    cluster=cluster,
-                    t_job_service=t_job,
-                    t_task_service=t_task,
-                )
-            )
-    return rows
+    return run_sweep(
+        surface_points(
+            architecture,
+            t_jobs,
+            t_tasks,
+            cluster=cluster,
+            horizon=horizon,
+            seed=seed,
+            scale=scale,
+            conflict_mode=conflict_mode,
+            commit_mode=commit_mode,
+            **config_kwargs,
+        ),
+        jobs=jobs,
+    )

@@ -77,6 +77,9 @@ class NullRecorder:
         """Return a shared no-op context manager."""
         return _NULL_SPAN
 
+    def replay(self, records: list[dict[str, Any]]) -> None:
+        """Discard captured records."""
+
     def close(self) -> None:
         """Nothing to flush."""
 
@@ -213,6 +216,30 @@ class TraceRecorder:
         """Open a span; use as a context manager."""
         ctx = {"t": t, "sched": sched, "job": job, "attempt": attempt}
         return Span(self, name, ctx, fields)
+
+    def replay(self, records: list[dict[str, Any]]) -> None:
+        """Re-emit records captured by another recorder (e.g. in a
+        parallel worker process).
+
+        Worker recorders number their spans from 1; replaying offsets
+        every span-id field (``id``/``parent``/``span``) by this
+        recorder's counter, so a trace stitched from per-worker captures
+        in submission order is identical to the trace a serial run of
+        the same work would have produced.
+        """
+        offset = self._next_span_id - 1
+        max_id = 0
+        for record in records:
+            clean = dict(record)
+            for key in ("id", "parent", "span"):
+                value = clean.get(key)
+                if isinstance(value, int):
+                    clean[key] = value + offset
+            if clean.get("kind") == "span" and isinstance(record.get("id"), int):
+                if record["id"] > max_id:
+                    max_id = record["id"]
+            self._emit(clean)
+        self._next_span_id += max_id
 
     def close(self) -> None:
         """Flush and close the JSONL writer, if any."""

@@ -3,12 +3,15 @@
 import math
 
 from repro import obs
+import pytest
+
 from repro.analysis.determinism import (
     DeterminismReport,
     canonical_record,
     diff_traces,
     main,
     run_gate,
+    run_parallel_gate,
     values_equal,
 )
 from repro.experiments.omega import figure5c_6c_rows
@@ -108,6 +111,37 @@ class TestRunGate:
         assert "DIVERGED" in bad.render()
 
 
+class TestRunParallelGate:
+    @staticmethod
+    def _experiment(jobs=1):
+        return figure5c_6c_rows(
+            t_jobs=(1.0,),
+            clusters=("A",),
+            horizon=0.2 * 3600.0,
+            seed=3,
+            scale=0.02,
+            jobs=jobs,
+        )
+
+    def test_serial_vs_parallel_identical(self):
+        report = run_parallel_gate(self._experiment, jobs=2)
+        assert report.identical
+        assert report.records_a == report.records_b > 0
+
+    def test_rejects_degenerate_worker_count(self):
+        with pytest.raises(ValueError):
+            run_parallel_gate(self._experiment, jobs=1)
+
+    def test_divergent_parallel_rows_fail(self):
+        def experiment(jobs=1):
+            # A fake "experiment" whose result depends on the worker
+            # count — exactly what the gate exists to catch.
+            return [{"jobs": jobs}]
+
+        report = run_parallel_gate(experiment, jobs=2)
+        assert not report.identical
+
+
 class TestGateCli:
     def test_main_passes_on_small_run(self, capsys):
         code = main(
@@ -115,3 +149,22 @@ class TestGateCli:
         )
         assert code == 0
         assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_main_compare_jobs_passes(self, capsys):
+        code = main(
+            [
+                "--experiment", "fig5c", "--scale", "0.02", "--hours", "0.2",
+                "--seed", "3", "--compare-jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "IDENTICAL" in capsys.readouterr().out
+
+    def test_main_compare_jobs_rejects_one(self, capsys):
+        code = main(
+            [
+                "--experiment", "fig5c", "--scale", "0.02", "--hours", "0.2",
+                "--compare-jobs", "1",
+            ]
+        )
+        assert code == 2

@@ -1,12 +1,13 @@
 """Tests for the figure-sweep drivers (small scales, structural checks)."""
 
+import json
+
 import pytest
 
 from repro.experiments import hifi_perf, mapreduce as mr_experiments
 from repro.experiments.omega import figure8_saturation_points, figure9_rows
 from repro.experiments.sweeps import (
     WAIT_TIME_SLO,
-    result_row,
     saturation_point,
     sweep_batch_load,
     sweep_service_decision_time,
@@ -172,3 +173,51 @@ class TestMapReduceDrivers:
         # The "higher and more variable" claim itself is asserted at
         # bench scale (benchmarks/bench_fig16_utilization.py); this run
         # is too short for stable means.
+
+
+class TestParallelJobsEquivalence:
+    """`jobs=N` must be row-for-row identical to serial execution
+    (NaN-tolerant via JSON encoding), across every driver family."""
+
+    @staticmethod
+    def _encoded(rows):
+        return json.dumps(rows)
+
+    def test_service_sweep(self):
+        kwargs = dict(
+            t_jobs=(0.1, 10.0), clusters=("A",), horizon=HOURS, seed=0,
+            scale=SCALE,
+        )
+        serial = sweep_service_decision_time("omega", **kwargs)
+        parallel = sweep_service_decision_time("omega", jobs=2, **kwargs)
+        assert self._encoded(serial) == self._encoded(parallel)
+        assert [list(r) for r in serial] == [list(r) for r in parallel]
+
+    def test_batch_load_sweep(self):
+        kwargs = dict(
+            factors=(1.0, 4.0), cluster="A", horizon=HOURS, seed=0, scale=SCALE
+        )
+        serial = sweep_batch_load(**kwargs)
+        parallel = sweep_batch_load(jobs=2, **kwargs)
+        assert self._encoded(serial) == self._encoded(parallel)
+
+    def test_figure10_scheme_labels_survive_parallelism(self):
+        kwargs = dict(
+            t_jobs=(1.0,), t_tasks=(0.01,), cluster="A", horizon=HOURS,
+            seed=0, scale=SCALE,
+        )
+        serial = figure10_rows(**kwargs)
+        parallel = figure10_rows(jobs=2, **kwargs)
+        assert self._encoded(serial) == self._encoded(parallel)
+        assert [row["scheme"] for row in parallel] == [
+            label for label, _, _ in SCHEMES
+        ]
+
+    def test_ablation_custom_row_shape(self):
+        from repro.experiments.ablations import preemption_rows
+
+        kwargs = dict(scale=SCALE, horizon=HOURS, seed=3)
+        serial = preemption_rows(**kwargs)
+        parallel = preemption_rows(jobs=2, **kwargs)
+        assert self._encoded(serial) == self._encoded(parallel)
+        assert [row["preemption"] for row in parallel] == ["off", "on"]

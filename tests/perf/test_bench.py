@@ -1,0 +1,145 @@
+"""Benchmark harness: result schema, expectation logic, and the
+baseline regression gate (timing *values* are not asserted here —
+floors belong to `omega-sim bench` itself)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return bench.run_benchmarks(smoke=True, jobs=2)
+
+
+class TestRunBenchmarks:
+    def test_schema_complete(self, smoke_results):
+        assert smoke_results["format_version"] == bench.FORMAT_VERSION
+        assert smoke_results["smoke"] is True
+        machine = smoke_results["machine"]
+        assert machine["cpu_count"] >= 1
+        for key in ("platform", "python", "numpy"):
+            assert machine[key]
+        benchmarks = smoke_results["benchmarks"]
+        assert set(benchmarks) == {
+            "snapshot_resync",
+            "placement_pack",
+            "event_loop",
+            "sweep_serial_parallel",
+        }
+        assert benchmarks["snapshot_resync"]["speedup"] > 0
+        assert benchmarks["placement_pack"]["placements_per_s"] > 0
+        assert benchmarks["event_loop"]["events_per_s"] > 0
+
+    def test_json_serializable(self, smoke_results):
+        assert json.loads(json.dumps(smoke_results))
+
+    def test_serial_parallel_rows_identical(self, smoke_results):
+        assert smoke_results["benchmarks"]["sweep_serial_parallel"][
+            "identical_rows"
+        ]
+
+    def test_expectations_present(self, smoke_results):
+        names = {e["name"] for e in smoke_results["expectations"]}
+        assert names == {
+            "resync_speedup",
+            "serial_parallel_identical",
+            "parallel_speedup",
+        }
+        by_name = {e["name"]: e for e in smoke_results["expectations"]}
+        # Row identity is enforced even in smoke mode; timing floors are
+        # recorded but unenforced at smoke sizes.
+        assert by_name["serial_parallel_identical"]["enforced"]
+        assert not by_name["resync_speedup"]["enforced"]
+        assert not by_name["parallel_speedup"]["enforced"]
+        for expectation in smoke_results["expectations"]:
+            if not expectation["enforced"]:
+                assert expectation["reason"]
+
+
+class TestGate:
+    def test_smoke_run_passes_gate(self, smoke_results):
+        assert bench.gate(smoke_results) == []
+
+    def test_enforced_expectation_failure_fails_gate(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["benchmarks"]["sweep_serial_parallel"]["identical_rows"] = False
+        results["expectations"] = bench.evaluate_expectations(results)
+        failures = bench.gate(results)
+        assert any("serial_parallel_identical" in f for f in failures)
+
+    def test_unenforced_expectation_does_not_fail_gate(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["benchmarks"]["snapshot_resync"]["speedup"] = 0.1
+        results["expectations"] = bench.evaluate_expectations(results)
+        assert bench.gate(results) == []
+
+    def test_full_mode_enforces_resync_floor(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["smoke"] = False
+        results["benchmarks"]["snapshot_resync"]["speedup"] = 0.1
+        results["expectations"] = bench.evaluate_expectations(results)
+        failures = bench.gate(results)
+        assert any("resync_speedup" in f for f in failures)
+
+    def test_parallel_floor_gated_on_cores(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["smoke"] = False
+        results["machine"]["cpu_count"] = 8
+        results["benchmarks"]["snapshot_resync"]["speedup"] = 2.0
+        results["benchmarks"]["sweep_serial_parallel"]["speedup"] = 1.1
+        results["expectations"] = bench.evaluate_expectations(results)
+        assert any("parallel_speedup" in f for f in bench.gate(results))
+        results["machine"]["cpu_count"] = 1
+        results["expectations"] = bench.evaluate_expectations(results)
+        assert bench.gate(results) == []
+
+    def test_baseline_regression_detected(self, smoke_results):
+        baseline = copy.deepcopy(smoke_results)
+        current = copy.deepcopy(smoke_results)
+        current["benchmarks"]["event_loop"]["events_per_s"] = (
+            baseline["benchmarks"]["event_loop"]["events_per_s"] * 0.5
+        )
+        failures = bench.gate(current, baseline, tolerance=0.25)
+        assert any("event_loop.events_per_s" in f for f in failures)
+
+    def test_regression_within_tolerance_passes(self, smoke_results):
+        baseline = copy.deepcopy(smoke_results)
+        current = copy.deepcopy(smoke_results)
+        current["benchmarks"]["event_loop"]["events_per_s"] = (
+            baseline["benchmarks"]["event_loop"]["events_per_s"] * 0.9
+        )
+        assert bench.gate(current, baseline, tolerance=0.25) == []
+
+    def test_machine_shape_mismatch_skips_throughput(self, smoke_results):
+        baseline = copy.deepcopy(smoke_results)
+        baseline["machine"]["cpu_count"] = smoke_results["machine"]["cpu_count"] + 4
+        current = copy.deepcopy(smoke_results)
+        current["benchmarks"]["event_loop"]["events_per_s"] = 1.0
+        assert bench.gate(current, baseline, tolerance=0.25) == []
+
+
+class TestRender:
+    def test_report_mentions_every_benchmark(self, smoke_results):
+        report = bench.render_report(smoke_results)
+        for name in smoke_results["benchmarks"]:
+            assert name in report
+        assert "smoke" in report
+
+    def test_cli_smoke_exit_zero(self, tmp_path):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--smoke", "--jobs", "2", "--output", str(out)])
+        assert rc == 0
+        saved = json.loads(out.read_text())
+        assert saved["smoke"] is True
+
+    def test_cli_bad_baseline_exits_two(self, tmp_path):
+        from repro.experiments.cli import main
+
+        rc = main(["bench", "--smoke", "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
