@@ -50,6 +50,14 @@ class LintConfig:
         "repro/core/*",
         "repro/hifi/*",
         "repro/mapreduce/*",
+        "repro/faults/*",
+    )
+    #: FIJ001: fault-injection modules. Fault schedules must be driven
+    #: by simulated time and RNG streams forked from the run's master
+    #: RandomStreams — never the wall clock or a freshly-seeded RNG.
+    fault_injector_paths: tuple[str, ...] = (
+        "repro/faults/*",
+        "repro/hifi/failures.py",
     )
     #: TXN001: the only modules allowed to mutate master cell-state
     #: resource fields (the section 3.4 optimistic-commit path).

@@ -207,6 +207,22 @@ def _representative_experiment(
         return lambda jobs=1: figure14_rows(
             horizon=horizon, seed=seed, scale=scale, jobs=jobs
         )
+    if name == "resilience":
+        # The fault-injection paths: chaos engine (machine failures,
+        # scheduler crashes, commit delay/drop), starvation-escalation
+        # retries, and the invariant checker must all replay exactly —
+        # their trace events are compared like any other record.
+        from repro.experiments.resilience import resilience_rows
+
+        return lambda jobs=1: resilience_rows(
+            intensities=(0.0, 5.0),
+            architectures=("mesos", "omega"),
+            policy="starvation",
+            scale=scale,
+            horizon=horizon,
+            seed=seed,
+            jobs=jobs,
+        )
     raise ValueError(f"unknown experiment: {name!r}")
 
 
@@ -219,9 +235,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--experiment",
-        choices=("fig5c", "fig8", "fig14"),
+        choices=("fig5c", "fig8", "fig14", "resilience"),
         default="fig8",
-        help="representative experiment to double-run (default: fig8)",
+        help="representative experiment to double-run (default: fig8); "
+        "'resilience' double-runs a fault-injected sweep so the chaos "
+        "engine and retry policies are themselves gated",
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     parser.add_argument(

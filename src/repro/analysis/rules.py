@@ -15,6 +15,8 @@ TXN001  Direct writes to master cell-state resource fields bypass the
 FLT001  ``==``/``!=`` on resource floats ignores the EPSILON tolerance
         the resource arithmetic is built on.
 GEN001  Mutable default arguments alias state across calls.
+FIJ001  Fault-injection hooks built on the wall clock or a non-forked
+        RNG make chaos schedules unreplayable.
 ======  ==============================================================
 
 Rules receive a :class:`ModuleContext` (parsed AST with parent links,
@@ -626,6 +628,137 @@ class MutableDefaultRule(Rule):
         return False
 
 
+# ----------------------------------------------------------------------
+# FIJ001 — nondeterministic fault-injection hooks
+# ----------------------------------------------------------------------
+class FaultInjectionSourceRule(Rule):
+    """Fault schedules must replay: no wall clock, no self-seeded RNGs.
+
+    Fault injectors (``repro.faults`` and the hifi failure injector) are
+    only admissible in a determinism-gated simulator because every fault
+    timeline is a pure function of the run's master seed: injectors
+    *receive* an ``np.random.Generator`` forked from the run's
+    :class:`~repro.sim.random.RandomStreams` and draw timings in
+    simulated time. This rule flags the two ways that contract breaks
+    inside the configured fault-injector paths:
+
+    * constructing an entropy source locally — ``RandomStreams(...)``,
+      ``np.random.default_rng(...)``/``RandomState``/bit generators, or
+      any use of the stdlib ``random`` module — instead of accepting a
+      forked stream from the caller;
+    * reading the wall clock (``time.time``/``datetime.now`` family) to
+      schedule or timestamp a fault, instead of ``Simulator.now``.
+
+    DET001/DET002 police the same primitives repo-wide, but they honor
+    broad allowlists; FIJ001 is deliberately unconditional inside fault
+    injectors, where a nondeterministic hook silently invalidates every
+    resilience result built on top of it.
+    """
+
+    id = "FIJ001"
+    description = (
+        "fault-injection hook built on the wall clock or a non-forked "
+        "RNG (chaos schedules must replay from named streams)"
+    )
+
+    #: numpy.random members that create or reseed entropy sources.
+    _ENTROPY_FNS = frozenset(
+        {
+            "default_rng",
+            "seed",
+            "RandomState",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+    _TIME_FNS = WallClockRule._TIME_FNS
+    _DATETIME_FNS = WallClockRule._DATETIME_FNS
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not match_path(module.path, module.config.fault_injector_paths):
+            return
+        time_aliases = module.aliases_of("time")
+        datetime_aliases = module.aliases_of("datetime")
+        random_aliases = module.aliases_of("random")
+        numpy_aliases = module.aliases_of("numpy")
+        datetime_classes: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_classes.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "RandomStreams":
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "fault injector constructs its own RandomStreams: "
+                        "accept a stream forked from the run's master "
+                        "streams (streams.fork/stream) instead",
+                    )
+                    continue
+                if isinstance(func, ast.Attribute) and func.attr == "RandomStreams":
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "fault injector constructs its own RandomStreams: "
+                        "accept a stream forked from the run's master "
+                        "streams (streams.fork/stream) instead",
+                    )
+                    continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            head = parts[0]
+            if head in numpy_aliases and len(parts) >= 3 and parts[1] == "random":
+                if parts[2] in self._ENTROPY_FNS:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"fault injector seeds its own RNG via {dotted}: "
+                        "draw from the np.random.Generator handed in by "
+                        "the chaos engine instead",
+                    )
+            elif head in random_aliases and len(parts) == 2:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"fault injector uses the stdlib random module "
+                    f"({dotted}): draw from the forked "
+                    "np.random.Generator instead",
+                )
+            elif head in time_aliases and len(parts) == 2 and parts[1] in self._TIME_FNS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"fault injector reads the wall clock ({dotted}): "
+                    "schedule faults in simulated time (Simulator.now)",
+                )
+            elif node.attr in self._DATETIME_FNS:
+                base = parts[:-1]
+                if base and (
+                    (
+                        base[0] in datetime_aliases
+                        and base[1:] in (["datetime"], ["date"])
+                    )
+                    or (len(base) == 1 and base[0] in datetime_classes)
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"fault injector reads the wall clock ({dotted}): "
+                        "schedule faults in simulated time (Simulator.now)",
+                    )
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: tuple[Rule, ...] = (
     RawRandomRule(),
@@ -634,6 +767,7 @@ ALL_RULES: tuple[Rule, ...] = (
     CellStateWriteRule(),
     ResourceFloatEqualityRule(),
     MutableDefaultRule(),
+    FaultInjectionSourceRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

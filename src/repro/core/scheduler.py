@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.cellstate import CellSnapshot, CellState
 from repro.core.placement import randomized_first_fit
 from repro.core.transaction import Claim, CommitMode, ConflictMode, commit
+from repro.faults.retry import RetryPolicy
 from repro.metrics import MetricsCollector
 from repro.obs import recorder as _obs
 from repro.schedulers.base import DecisionTimeModel, QueueScheduler
@@ -71,6 +72,7 @@ class OmegaScheduler(QueueScheduler):
         retry_conflicts_at_front: bool = True,
         ledger: "AllocationLedger | None" = None,
         conflict_avoidance_cooldown: float = 0.0,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         super().__init__(
             name,
@@ -78,6 +80,7 @@ class OmegaScheduler(QueueScheduler):
             metrics,
             attempt_limit,
             retry_conflicts_at_front=retry_conflicts_at_front,
+            retry_policy=retry_policy,
         )
         self.state = state
         #: Optional allocation ledger. When set, this scheduler's
@@ -180,8 +183,15 @@ class OmegaScheduler(QueueScheduler):
             self._mask_hot_machines(snapshot)
         claims = self._placement(snapshot, job, self._rng)
 
+        # A starvation-escalated job (section 3.6) commits incrementally
+        # from here on, so its non-conflicting tasks land even though
+        # the scheduler's configured mode is gang/all-or-nothing.
+        commit_mode = self.commit_mode
+        if job.escalated and commit_mode is CommitMode.ALL_OR_NOTHING:
+            commit_mode = CommitMode.INCREMENTAL
+
         rec = _obs.RECORDER
-        if self.commit_mode is CommitMode.ALL_OR_NOTHING:
+        if commit_mode is CommitMode.ALL_OR_NOTHING:
             planned = sum(claim.count for claim in claims)
             if planned < job.unplaced_tasks:
                 # Gang scheduling needs room for every task; the private
@@ -205,7 +215,7 @@ class OmegaScheduler(QueueScheduler):
             claims,
             snapshot,
             conflict_mode=self.conflict_mode,
-            commit_mode=self.commit_mode,
+            commit_mode=commit_mode,
         )
         self.metrics.record_commit(self.name, result.conflicted, self.sim.now)
         if result.conflicted:
@@ -213,6 +223,11 @@ class OmegaScheduler(QueueScheduler):
         job.unplaced_tasks -= result.accepted_tasks
         self._start_tasks(self.state, job, result.accepted)
         self._resolve_attempt(job, had_conflict=result.conflicted)
+
+    def _abort_attempt(self, job: Job) -> None:
+        """Crash/commit-drop cleanup: discard the private snapshot (the
+        in-flight transaction). The persistent view resyncs next time."""
+        self._snapshot = None
 
     # ------------------------------------------------------------------
     # Ledger integration (registration + preemption victims)

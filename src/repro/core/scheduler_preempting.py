@@ -22,6 +22,7 @@ from repro.core.placement import randomized_first_fit
 from repro.core.preemption import AllocationLedger, commit_with_preemption
 from repro.core.scheduler import OmegaScheduler
 from repro.core.transaction import CommitMode, ConflictMode
+from repro.faults.retry import RetryPolicy
 from repro.obs import recorder as _obs
 from repro.metrics import MetricsCollector
 from repro.schedulers.base import DecisionTimeModel
@@ -44,6 +45,7 @@ class PreemptingOmegaScheduler(OmegaScheduler):
         commit_mode: CommitMode = CommitMode.INCREMENTAL,
         attempt_limit: int = 1000,
         retry_conflicts_at_front: bool = True,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         super().__init__(
             name,
@@ -57,6 +59,7 @@ class PreemptingOmegaScheduler(OmegaScheduler):
             attempt_limit=attempt_limit,
             retry_conflicts_at_front=retry_conflicts_at_front,
             ledger=ledger,
+            retry_policy=retry_policy,
         )
 
     def _plan_view(self, job: Job) -> tuple[np.ndarray, np.ndarray]:

@@ -40,9 +40,11 @@ from repro.analysis import cli as lint
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
+from repro.experiments import resilience as resilience_experiments
 from repro.experiments import sweep3d, tables, workload_char
 from repro.experiments.common import format_table
 from repro.experiments.io import save_rows
+from repro.faults.retry import RETRY_POLICIES
 from repro.metrics.ascii_chart import line_chart
 from repro.perf.parallel import resolve_jobs
 
@@ -171,6 +173,17 @@ def _cmd_ablation_placement(args) -> list[dict]:
     )
 
 
+def _cmd_resilience(args) -> list[dict]:
+    if args.smoke:
+        return resilience_experiments.resilience_smoke_rows(
+            seed=args.seed, jobs=args.jobs
+        )
+    intensities = tuple(float(value) for value in args.intensities.split(","))
+    return resilience_experiments.resilience_rows(
+        intensities=intensities, policy=args.policy, **_scaled_kwargs(args)
+    )
+
+
 def _cmd_validate(args) -> list[dict]:
     from repro.workload.validation import validate_all
 
@@ -214,6 +227,10 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
         _cmd_ablation_placement,
         "placement strategy vs conflict fraction",
     ),
+    "resilience": (
+        _cmd_resilience,
+        "fault-injected degradation: architecture x fault intensity",
+    ),
     "validate": (_cmd_validate, "sanity-check the cluster presets"),
 }
 
@@ -236,6 +253,7 @@ JOBS_COMMANDS = frozenset(
         "ablation-preemption",
         "ablation-backoff",
         "ablation-placement",
+        "resilience",
     }
 )
 
@@ -263,6 +281,8 @@ PLOTS = {
                       "Conflict fraction vs standing utilization"),
     "ablation-backoff": (None, "cooldown_s", "conflict_batch", False, False,
                          "Conflict fraction vs hot-machine backoff window"),
+    "resilience": ("architecture", "intensity", "wait_batch", False, False,
+                   "Resilience: mean batch wait vs fault intensity"),
 }
 
 
@@ -340,6 +360,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="also print simulator engine statistics "
             "(events processed, peak queue depth, wall seconds)",
         )
+        if name == "resilience":
+            sub.add_argument(
+                "--intensities",
+                default=",".join(
+                    str(value)
+                    for value in resilience_experiments.DEFAULT_INTENSITIES
+                ),
+                help="comma-separated fault-intensity multipliers "
+                "(0 = fault-free baseline)",
+            )
+            sub.add_argument(
+                "--policy",
+                choices=RETRY_POLICIES,
+                default="immediate",
+                help="Omega conflict-retry policy (immediate reproduces the "
+                "historical behavior; see docs/RESILIENCE.md)",
+            )
+            sub.add_argument(
+                "--smoke",
+                action="store_true",
+                help="CI smoke variant: tiny cell, short horizon, two "
+                "intensities, starvation-escalation policy",
+            )
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -20,12 +20,14 @@ from repro.core.preemption import AllocationLedger
 from repro.core.scheduler import OmegaScheduler
 from repro.core.scheduler_preempting import PreemptingOmegaScheduler
 from repro.core.transaction import CommitMode, ConflictMode
+from repro.faults import CellStateInvariantChecker, ChaosEngine, FaultConfig
+from repro.faults.retry import RetryPolicy, RetryPolicyConfig
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
 from repro.obs import recorder as _obs
 from repro.obs.registry import publish_sim_stats
 from repro.schedulers.base import DecisionTimeModel
-from repro.schedulers.mesos import MesosAllocator, MesosFramework
+from repro.schedulers.mesos import MesosAllocator, MesosFramework, reset_offer_ids
 from repro.schedulers.monolithic import MonolithicScheduler
 from repro.schedulers.partitioned import StaticPartition
 from repro.sim import RandomStreams, Simulator
@@ -79,6 +81,16 @@ class LightweightConfig:
     #: lightweight algorithm — "best-fit", or "worst-fit"); see
     #: :data:`repro.core.placement.PLACEMENT_STRATEGIES`.
     placement_strategy: str = "random-first-fit"
+    #: Deterministic fault injection (:mod:`repro.faults`). The default
+    #: config is disabled, keeping every fault-free run byte-identical.
+    fault_config: FaultConfig = field(default_factory=FaultConfig)
+    #: Omega only: conflict-retry policy built per scheduler from its own
+    #: named random stream. ``None`` keeps the historical immediate
+    #: front-of-queue retry untouched.
+    retry_policy: RetryPolicyConfig | None = None
+    #: Run a :class:`~repro.faults.CellStateInvariantChecker` every this
+    #: many seconds during the run; ``None`` disables continuous checks.
+    invariant_check_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -90,6 +102,14 @@ class LightweightConfig:
             raise ValueError(f"horizon must be positive, got {self.horizon}")
         if self.num_batch_schedulers < 1:
             raise ValueError("need at least one batch scheduler")
+        if (
+            self.invariant_check_interval is not None
+            and self.invariant_check_interval <= 0
+        ):
+            raise ValueError(
+                "invariant_check_interval must be positive, got "
+                f"{self.invariant_check_interval}"
+            )
 
     @property
     def period(self) -> float:
@@ -126,6 +146,12 @@ class LightweightSimulation:
         self.submit: Callable[[Job], None] | None = None
         self.batch_scheduler_names: list[str] = []
         self.service_scheduler_names: list[str] = []
+        #: Every scheduler object, in construction order — the chaos
+        #: engine's crash/commit faults target entries of this registry.
+        self.schedulers: list = []
+        self.ledger: AllocationLedger | None = None
+        self.chaos: ChaosEngine | None = None
+        self.invariant_checker: CellStateInvariantChecker | None = None
         self.utilization_series: list[tuple[float, float, float]] = []
         self._built = False
 
@@ -137,10 +163,32 @@ class LightweightSimulation:
             raise RuntimeError("simulation already built")
         self._built = True
         reset_job_ids()
+        reset_offer_ids()
         builder = getattr(self, f"_build_{self.config.architecture.replace('-', '_')}")
         builder()
         self._fill_initial_state()
         self._start_workload()
+        config = self.config
+        if config.fault_config.enabled:
+            self.chaos = ChaosEngine(
+                self.sim,
+                self.streams.fork("chaos"),
+                config.fault_config,
+                self.metrics,
+            )
+            self.chaos.install(
+                self.states,
+                self.schedulers,
+                ledger=self.ledger,
+                horizon=config.horizon,
+            )
+        if config.invariant_check_interval is not None:
+            self.invariant_checker = CellStateInvariantChecker(
+                self.states, ledger=self.ledger
+            )
+            self.invariant_checker.install(
+                self.sim, config.invariant_check_interval, horizon=config.horizon
+            )
         if self.config.utilization_sample_interval:
             self.sim.every(
                 self.config.utilization_sample_interval,
@@ -162,6 +210,7 @@ class LightweightSimulation:
             attempt_limit=self.config.attempt_limit,
         )
         self.submit = scheduler.submit
+        self.schedulers = [scheduler]
         self.batch_scheduler_names = [scheduler.name]
         self.service_scheduler_names = [scheduler.name]
 
@@ -178,6 +227,7 @@ class LightweightSimulation:
             attempt_limit=self.config.attempt_limit,
         )
         self.submit = scheduler.submit
+        self.schedulers = [scheduler]
         self.batch_scheduler_names = [scheduler.name]
         self.service_scheduler_names = [scheduler.name]
 
@@ -195,6 +245,7 @@ class LightweightSimulation:
         )
         self.states.extend(partition.states)
         self.submit = partition.submit
+        self.schedulers = [partition.batch_scheduler, partition.service_scheduler]
         self.batch_scheduler_names = [partition.batch_scheduler.name]
         self.service_scheduler_names = [partition.service_scheduler.name]
 
@@ -229,8 +280,21 @@ class LightweightSimulation:
             target.submit(job)
 
         self.submit = submit
+        self.schedulers = [batch, service]
         self.batch_scheduler_names = [batch.name]
         self.service_scheduler_names = [service.name]
+
+    def _retry_policy(self, scheduler_name: str) -> RetryPolicy | None:
+        """Build the configured retry policy for one Omega scheduler.
+
+        Each scheduler gets its own named random stream so jittered
+        backoff draws are independent of every other stochastic process
+        in the run (the determinism discipline of ``repro.sim.random``).
+        """
+        config = self.config.retry_policy
+        if config is None:
+            return None
+        return config.build(self.streams.stream(f"retry.{scheduler_name}"))
 
     def _build_omega(self) -> None:
         state = CellState(self.cell)
@@ -241,24 +305,31 @@ class LightweightSimulation:
             ledger = AllocationLedger(state, self.sim)
             self.ledger = ledger
         placement = placement_fn(config.placement_strategy)
-        batch_schedulers = [
-            OmegaScheduler(
-                f"omega-batch-{i}" if config.num_batch_schedulers > 1 else "omega-batch",
-                self.sim,
-                self.metrics,
-                state,
-                self.streams.stream(f"placement.omega-batch-{i}"),
-                config.batch_model,
-                conflict_mode=config.conflict_mode,
-                commit_mode=config.commit_mode,
-                attempt_limit=config.attempt_limit,
-                retry_conflicts_at_front=config.retry_conflicts_at_front,
-                ledger=ledger,
-                conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
-                placement=placement,
+        batch_schedulers = []
+        for i in range(config.num_batch_schedulers):
+            name = (
+                f"omega-batch-{i}"
+                if config.num_batch_schedulers > 1
+                else "omega-batch"
             )
-            for i in range(config.num_batch_schedulers)
-        ]
+            batch_schedulers.append(
+                OmegaScheduler(
+                    name,
+                    self.sim,
+                    self.metrics,
+                    state,
+                    self.streams.stream(f"placement.omega-batch-{i}"),
+                    config.batch_model,
+                    conflict_mode=config.conflict_mode,
+                    commit_mode=config.commit_mode,
+                    attempt_limit=config.attempt_limit,
+                    retry_conflicts_at_front=config.retry_conflicts_at_front,
+                    ledger=ledger,
+                    conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
+                    placement=placement,
+                    retry_policy=self._retry_policy(name),
+                )
+            )
         pool = SchedulerPool(batch_schedulers)
         if config.enable_preemption:
             service = PreemptingOmegaScheduler(
@@ -271,6 +342,7 @@ class LightweightSimulation:
                 ledger=ledger,
                 attempt_limit=config.attempt_limit,
                 retry_conflicts_at_front=config.retry_conflicts_at_front,
+                retry_policy=self._retry_policy("omega-service"),
             )
         else:
             service = OmegaScheduler(
@@ -286,6 +358,7 @@ class LightweightSimulation:
                 retry_conflicts_at_front=config.retry_conflicts_at_front,
                 conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
                 placement=placement,
+                retry_policy=self._retry_policy("omega-service"),
             )
         self.omega_pool = pool
         self.omega_service = service
@@ -297,6 +370,7 @@ class LightweightSimulation:
                 service.submit(job)
 
         self.submit = submit
+        self.schedulers = batch_schedulers + [service]
         self.batch_scheduler_names = pool.names
         self.service_scheduler_names = [service.name]
 
@@ -360,6 +434,19 @@ class LightweightSimulation:
         self.utilization_series.append(
             (self.sim.now, self.cpu_utilization(), self.mem_utilization())
         )
+
+    def check_invariants(self) -> list[str]:
+        """Post-run invariant gate over every cell state (and ledger).
+
+        Raises :class:`repro.faults.InvariantViolation` on any
+        inconsistency; returns the (empty) violation list otherwise.
+        A continuous checker installed via ``invariant_check_interval``
+        is reused so its counters keep accumulating.
+        """
+        checker = self.invariant_checker
+        if checker is None:
+            checker = CellStateInvariantChecker(self.states, ledger=self.ledger)
+        return checker.check(self.sim.now)
 
     # ------------------------------------------------------------------
     def run(self) -> LightweightResult:

@@ -1,0 +1,143 @@
+"""Resilience experiment: degradation curves under injected faults.
+
+``omega-sim resilience`` sweeps fault intensity against scheduler
+architecture. Every run injects the same deterministic fault mix —
+machine failure/repair, scheduler crash/restart, commit latency spikes
+and commit drops (see :mod:`repro.faults`) — scaled by an intensity
+knob, and reports how each architecture's headline metrics (job wait
+time, scheduler busyness, conflict fraction, abandonment) degrade as
+the environment gets hostile. This probes the paper's availability
+claims head-on: Omega's optimistically-concurrent shared state means
+"there is no inter-scheduler head of line blocking", so a crashed or
+slow scheduler should only hurt its own workload, while the monolithic
+architectures serialize everything behind the failure.
+
+Intensity 0 rows install no fault machinery at all and are byte-
+identical to the corresponding fault-free experiment at the same seed
+(tested in ``tests/experiments/test_resilience.py``). Every run also
+carries a continuous :class:`~repro.faults.CellStateInvariantChecker`
+plus a post-run gate, so a fault path that corrupts shared cell state
+fails the experiment instead of silently skewing the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import LightweightConfig, LightweightSimulation
+from repro.experiments.sweeps import SweepPoint, result_row
+from repro.faults import FaultConfig
+from repro.faults.retry import RetryPolicyConfig
+from repro.perf.parallel import parallel_map
+from repro.workload.clusters import CLUSTER_B
+
+#: The architectures compared in the degradation table. The single-path
+#: monolithic variant is omitted: it differs from multi-path only in
+#: decision-time modeling, which fault injection does not exercise.
+RESILIENCE_ARCHITECTURES = ("monolithic-multi", "partitioned", "mesos", "omega")
+
+#: Default intensity grid: the fault-free baseline plus three hostility
+#: levels (nominal, degraded, hostile).
+DEFAULT_INTENSITIES = (0.0, 1.0, 3.0, 10.0)
+
+#: The intensity-1.0 fault mix. Machine MTBF is per machine, so the
+#: cell-wide failure rate scales with cell size; scheduler crash MTBF
+#: is per scheduler. ``FaultConfig.scaled`` divides the MTBFs and
+#: multiplies the commit-fault probabilities by the intensity.
+BASELINE_FAULTS = FaultConfig(
+    machine_mtbf=150 * 3600.0,
+    machine_repair_time=1800.0,
+    crash_mtbf=4 * 3600.0,
+    crash_restart_time=60.0,
+    commit_delay_prob=0.02,
+    commit_delay_mean=2.0,
+    commit_drop_prob=0.01,
+)
+
+
+def resilience_row(sim: LightweightSimulation, result, **extra) -> dict:
+    """One degradation-table row: the standard metrics plus fault and
+    invariant-gate counters."""
+    row = result_row(result, **extra)
+    metrics = result.metrics
+    checker = sim.invariant_checker
+    row.update(
+        machine_failures=metrics.machine_failures,
+        tasks_killed=metrics.fault_tasks_killed,
+        crashes=metrics.scheduler_crashes_total,
+        commit_drops=metrics.commits_dropped_total,
+        escalated=metrics.jobs_escalated_total,
+        abandoned_conflict=metrics.abandoned_for_reason("conflict-cap"),
+        invariant_checks=(checker.checks_run if checker is not None else 0),
+    )
+    return row
+
+
+def _resilience_point(point: SweepPoint) -> dict:
+    """Run one (architecture, intensity) point (parallel-worker body).
+
+    The post-run :meth:`~LightweightSimulation.check_invariants` gate
+    raises on any cell-state inconsistency, failing the whole sweep.
+    """
+    config, extra = point
+    sim = LightweightSimulation(config)
+    result = sim.run()
+    sim.check_invariants()
+    return resilience_row(sim, result, **extra)
+
+
+def resilience_rows(
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    architectures: Sequence[str] = RESILIENCE_ARCHITECTURES,
+    policy: str | None = "immediate",
+    scale: float = 0.2,
+    horizon: float = 2 * 3600.0,
+    seed: int = 3,
+    faults: FaultConfig = BASELINE_FAULTS,
+    jobs: int = 1,
+) -> list[dict]:
+    """Degradation table: architectures x fault intensities.
+
+    ``policy`` selects the Omega conflict-retry policy (one of
+    :data:`repro.faults.retry.RETRY_POLICIES`, or ``None`` for the
+    built-in default). The default "immediate" policy reproduces the
+    historical retry behavior exactly, which keeps the intensity-0 rows
+    byte-identical to the fault-free experiments; pass "backoff" or
+    "starvation" to study the section 3.6 remedies under fault load.
+
+    Every point shares one master seed so the fault-free workload is
+    identical across the whole table — degradation is attributable to
+    the injected faults alone.
+    """
+    preset = CLUSTER_B.scaled(scale)
+    retry = RetryPolicyConfig(kind=policy) if policy is not None else None
+    points: list[SweepPoint] = []
+    for architecture in architectures:
+        for intensity in intensities:
+            config = LightweightConfig(
+                preset=preset,
+                architecture=architecture,
+                horizon=horizon,
+                seed=seed,
+                fault_config=faults.scaled(intensity),
+                retry_policy=retry,
+                invariant_check_interval=horizon / 8.0,
+            )
+            points.append(
+                (config, {"architecture": architecture, "intensity": intensity})
+            )
+    return parallel_map(_resilience_point, points, jobs=jobs)
+
+
+def resilience_smoke_rows(seed: int = 3, jobs: int = 1) -> list[dict]:
+    """The CI smoke variant: tiny cell, short horizon, two intensities,
+    all four architectures, with starvation escalation switched on so
+    the fault, retry, and invariant paths all execute on every build."""
+    return resilience_rows(
+        intensities=(0.0, 5.0),
+        policy="starvation",
+        scale=0.05,
+        horizon=1800.0,
+        seed=seed,
+        jobs=jobs,
+    )

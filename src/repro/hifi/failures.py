@@ -7,14 +7,16 @@ failure domains (section 2.1), and gang scheduling "is only rarely used
 due to the expectation of machine failures, which disrupt jobs anyway"
 (section 6 footnote).
 
-This module implements what the paper skipped, as an extension: a
-Poisson failure process over machines. A failing machine's tasks are
-evicted through the shared allocation ledger (their owners reschedule
-them, exactly like preemption victims) and its capacity is withheld
-until a repair completes. The
-``tests/hifi/test_failures.py::TestPaperClaim`` test verifies the
-paper's justification — failures at realistic MTBFs add only a small
-scheduler load.
+This module implements what the paper skipped, as an extension. The
+failure/repair mechanics live in the shared
+:class:`repro.faults.processes.FailureRepairProcess` (one Poisson
+implementation for both simulators); this injector binds it to the
+high-fidelity stack's allocation ledger, so a failing machine's tasks
+are evicted through the ledger (their owners reschedule them, exactly
+like preemption victims) and its capacity is withheld until a repair
+completes. The ``tests/hifi/test_failures.py::TestPaperClaim`` test
+verifies the paper's justification — failures at realistic MTBFs add
+only a small scheduler load.
 """
 
 from __future__ import annotations
@@ -23,11 +25,13 @@ import numpy as np
 
 from repro.core.cellstate import CellState
 from repro.core.preemption import AllocationLedger
+from repro.faults.processes import FailureRepairProcess
 from repro.sim import Simulator
 
 
-class MachineFailureInjector:
-    """Poisson machine failures with repairs over shared cell state."""
+class MachineFailureInjector(FailureRepairProcess):
+    """Poisson machine failures with repairs over shared cell state,
+    evicting victims through the allocation ledger."""
 
     def __init__(
         self,
@@ -42,78 +46,12 @@ class MachineFailureInjector:
         (seconds); the cell-wide failure rate is ``machines / mtbf``.
         ``repair_time`` is how long a failed machine stays down.
         """
-        if mtbf <= 0:
-            raise ValueError(f"mtbf must be positive, got {mtbf}")
-        if repair_time <= 0:
-            raise ValueError(f"repair_time must be positive, got {repair_time}")
-        self.sim = sim
-        self.state = state
+        super().__init__(
+            sim,
+            state,
+            rng,
+            mtbf=mtbf,
+            repair_time=repair_time,
+            evict=ledger.evict_machine,
+        )
         self.ledger = ledger
-        self.rng = rng
-        self.mtbf = mtbf
-        self.repair_time = repair_time
-        self._down: dict[int, tuple[float, float]] = {}  # machine -> withheld cpu/mem
-        self.failures = 0
-        self.tasks_killed = 0
-        self._horizon: float | None = None
-
-    # ------------------------------------------------------------------
-    @property
-    def machines_down(self) -> int:
-        return len(self._down)
-
-    def is_down(self, machine: int) -> bool:
-        return machine in self._down
-
-    def start(self, horizon: float | None = None) -> None:
-        """Begin injecting failures (first gap drawn immediately)."""
-        self._horizon = horizon
-        self._schedule_next()
-
-    def _cell_rate(self) -> float:
-        up_machines = self.state.num_machines - len(self._down)
-        return max(up_machines, 1) / self.mtbf
-
-    def _schedule_next(self) -> None:
-        gap = self.rng.exponential(1.0 / self._cell_rate())
-        when = self.sim.now + gap
-        if self._horizon is None or when <= self._horizon:
-            self.sim.at(when, self._fail_random_machine)
-
-    # ------------------------------------------------------------------
-    def _fail_random_machine(self) -> None:
-        up = [m for m in range(self.state.num_machines) if m not in self._down]
-        if up:
-            self.fail(int(self.rng.choice(up)))
-        self._schedule_next()
-
-    def fail(self, machine: int) -> int:
-        """Fail ``machine`` now: kill its tasks, withhold its capacity.
-
-        Returns the number of tasks killed. Failing a machine that is
-        already down is a no-op.
-        """
-        if machine in self._down:
-            return 0
-        self.failures += 1
-        killed = self.ledger.evict_machine(machine)
-        self.tasks_killed += killed
-        # Withhold whatever is free now (everything, after the eviction,
-        # except resources of unledgered allocations, which ride out the
-        # failure as a modeling simplification).
-        withheld_cpu = float(self.state.free_cpu[machine])
-        withheld_mem = float(self.state.free_mem[machine])
-        if withheld_cpu > 0 or withheld_mem > 0:
-            self.state.claim(machine, withheld_cpu, withheld_mem, 1)
-        self._down[machine] = (withheld_cpu, withheld_mem)
-        self.sim.after(self.repair_time, self.repair, machine)
-        return killed
-
-    def repair(self, machine: int) -> None:
-        """Bring a failed machine back (idempotent)."""
-        withheld = self._down.pop(machine, None)
-        if withheld is None:
-            return
-        withheld_cpu, withheld_mem = withheld
-        if withheld_cpu > 0 or withheld_mem > 0:
-            self.state.release(machine, withheld_cpu, withheld_mem, 1)

@@ -36,10 +36,20 @@ class SchedulerMetrics:
     transactions_attempted: int = 0
     transactions_committed: int = 0
     jobs_abandoned: int = 0
+    #: Abandonments split by terminal reason ("attempt-limit" for the
+    #: generic ceiling, "conflict-cap" for a retry-policy verdict).
+    abandoned_by_reason: dict[str, int] = field(default_factory=dict)
     #: Tasks this scheduler evicted from lower-precedence jobs.
     preemptions_caused: int = 0
     #: This scheduler's tasks evicted by higher-precedence jobs.
     tasks_lost_to_preemption: int = 0
+    #: Fault-injection counters (see :mod:`repro.faults`).
+    crashes: int = 0
+    commits_dropped: int = 0
+    commit_delay_seconds: float = 0.0
+    #: Jobs switched to incremental commit mode by a
+    #: starvation-escalation retry policy (paper section 3.6).
+    jobs_escalated: int = 0
 
 
 class MetricsCollector:
@@ -60,6 +70,10 @@ class MetricsCollector:
         self.jobs_scheduled_total = 0
         self.jobs_abandoned_total = 0
         self.tasks_scheduled_total = 0
+        #: Cell-level fault-injection counters (see :mod:`repro.faults`).
+        self.machine_failures = 0
+        self.machine_repairs = 0
+        self.fault_tasks_killed = 0
         #: Low-level counter/histogram mirror of everything recorded
         #: here (see :mod:`repro.obs.registry`). Private per collector
         #: by default so concurrent runs do not pollute each other;
@@ -175,10 +189,64 @@ class MetricsCollector:
         self._counter("jobs.scheduled", scheduler).inc()
         self._counter("tasks.scheduled", scheduler).inc(job.num_tasks)
 
-    def record_abandoned(self, scheduler: str, job: Job) -> None:
-        self.schedulers[scheduler].jobs_abandoned += 1
+    def record_abandoned(
+        self, scheduler: str, job: Job, reason: str = "attempt-limit"
+    ) -> None:
+        """Record a job reaching the explicit abandoned terminal state.
+
+        ``reason`` distinguishes the generic attempt-limit ceiling from
+        a retry policy's conflict cap, so permanently-conflicting jobs
+        are visible in the tables rather than lumped together.
+        """
+        metrics = self.schedulers[scheduler]
+        metrics.jobs_abandoned += 1
+        metrics.abandoned_by_reason[reason] = (
+            metrics.abandoned_by_reason.get(reason, 0) + 1
+        )
         self.jobs_abandoned_total += 1
         self._counter("jobs.abandoned", scheduler).inc()
+        self.registry.counter(
+            "jobs.abandoned_by_reason", scheduler=scheduler, reason=reason
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Fault injection (called by the chaos engine and schedulers)
+    # ------------------------------------------------------------------
+    def record_machine_failure(self, tasks_killed: int) -> None:
+        """A chaos-injected machine failure killed ``tasks_killed`` tasks."""
+        if tasks_killed < 0:
+            raise ValueError(f"tasks_killed must be >= 0, got {tasks_killed}")
+        self.machine_failures += 1
+        self.fault_tasks_killed += tasks_killed
+        self.registry.counter("faults.machine_failures").inc()
+        if tasks_killed:
+            self.registry.counter("faults.tasks_killed").inc(tasks_killed)
+
+    def record_machine_repair(self) -> None:
+        self.machine_repairs += 1
+        self.registry.counter("faults.machine_repairs").inc()
+
+    def record_scheduler_crash(self, scheduler: str) -> None:
+        """``scheduler`` crashed, losing its in-flight transaction."""
+        self.schedulers[scheduler].crashes += 1
+        self._counter("faults.sched_crashes", scheduler).inc()
+
+    def record_commit_dropped(self, scheduler: str) -> None:
+        """One of ``scheduler``'s commits was dropped in flight."""
+        self.schedulers[scheduler].commits_dropped += 1
+        self._counter("faults.commit_drops", scheduler).inc()
+
+    def record_commit_delayed(self, scheduler: str, delay: float) -> None:
+        """A commit-path latency spike of ``delay`` seconds was injected."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedulers[scheduler].commit_delay_seconds += delay
+        self._counter("faults.commit_delay_seconds", scheduler).inc(delay)
+
+    def record_escalated(self, scheduler: str) -> None:
+        """A retry policy escalated one job to incremental commits."""
+        self.schedulers[scheduler].jobs_escalated += 1
+        self._counter("jobs.escalated", scheduler).inc()
 
     def record_preemption_caused(self, preemptor: str, tasks: int) -> None:
         """``preemptor`` evicted ``tasks`` lower-precedence tasks."""
@@ -280,6 +348,33 @@ class MetricsCollector:
 
     def abandoned(self, scheduler: str) -> int:
         return self.schedulers[scheduler].jobs_abandoned
+
+    def abandoned_for_reason(self, reason: str) -> int:
+        """Jobs abandoned for ``reason``, totalled across schedulers."""
+        return sum(
+            metrics.abandoned_by_reason.get(reason, 0)
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def scheduler_crashes_total(self) -> int:
+        return sum(
+            metrics.crashes for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def commits_dropped_total(self) -> int:
+        return sum(
+            metrics.commits_dropped
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def jobs_escalated_total(self) -> int:
+        return sum(
+            metrics.jobs_escalated
+            for _, metrics in sorted(self.schedulers.items())
+        )
 
     def scheduler_names(self) -> list[str]:
         return sorted(self.schedulers)

@@ -16,12 +16,18 @@ import abc
 from collections import deque
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.cellstate import CellState
 from repro.core.transaction import Claim
+from repro.faults.retry import RetryAction, RetryPolicy
 from repro.metrics import MetricsCollector
 from repro.obs import recorder as _obs
-from repro.sim import Simulator
+from repro.sim import Event, Simulator
 from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.chaos import ChaosEngine
 
 #: The paper's measured per-job decision overhead (section 4: "t_job = 0.1 s").
 DEFAULT_T_JOB = 0.1
@@ -66,6 +72,7 @@ class QueueScheduler(abc.ABC):
         metrics: MetricsCollector,
         attempt_limit: int = DEFAULT_ATTEMPT_LIMIT,
         retry_conflicts_at_front: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if attempt_limit < 1:
             raise ValueError(f"attempt_limit must be >= 1, got {attempt_limit}")
@@ -74,8 +81,23 @@ class QueueScheduler(abc.ABC):
         self.metrics = metrics
         self.attempt_limit = attempt_limit
         self.retry_conflicts_at_front = retry_conflicts_at_front
+        #: Conflict-retry policy (see :mod:`repro.faults.retry`). None
+        #: keeps the paper's behaviour: retry immediately at the front,
+        #: bounded only by ``attempt_limit``.
+        self.retry_policy = retry_policy
+        #: Chaos engine hook; set by
+        #: :meth:`repro.faults.chaos.ChaosEngine.install` when commit
+        #: faults are configured, None otherwise.
+        self.chaos: "ChaosEngine | None" = None
         self._queue: deque[Job] = deque()
         self._busy = False
+        #: Crash state: a down scheduler serves nothing until restart().
+        self._down = False
+        #: The pending end-of-think event and its (job, busy_start,
+        #: conflict_retry) context — the scheduler's in-flight
+        #: transaction, lost if it crashes mid-think.
+        self._inflight: Event | None = None
+        self._inflight_info: tuple[Job, float, bool] | None = None
 
     # ------------------------------------------------------------------
     # Submission and the serial service loop
@@ -87,6 +109,11 @@ class QueueScheduler(abc.ABC):
     @property
     def is_busy(self) -> bool:
         return self._busy
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the scheduler is crashed and awaiting restart."""
+        return self._down
 
     def submit(self, job: Job) -> None:
         """Enqueue a newly arrived job."""
@@ -102,7 +129,7 @@ class QueueScheduler(abc.ABC):
         self._maybe_start()
 
     def _maybe_start(self) -> None:
-        if self._busy or not self._queue:
+        if self._busy or self._down or not self._queue:
             return
         job = self._queue.popleft()
         if job.first_attempt_time is None:
@@ -124,11 +151,23 @@ class QueueScheduler(abc.ABC):
                 conflict_retry=conflict_retry,
             )
         self.begin_attempt(job)
-        self.sim.after(
-            think_time, self._think_complete, job, self.sim.now, conflict_retry
+        drop = False
+        if self.chaos is not None:
+            # A commit latency spike keeps the scheduler busy past its
+            # decision time, widening the window for conflicts; a drop
+            # loses the attempt's work in flight (see _think_complete).
+            delay, drop = self.chaos.commit_fault(self, job)
+            think_time += delay
+        self._inflight_info = (job, self.sim.now, conflict_retry)
+        self._inflight = self.sim.after(
+            think_time, self._think_complete, job, self.sim.now, conflict_retry, drop
         )
 
-    def _think_complete(self, job: Job, busy_start: float, conflict_retry: bool) -> None:
+    def _think_complete(
+        self, job: Job, busy_start: float, conflict_retry: bool, drop: bool = False
+    ) -> None:
+        self._inflight = None
+        self._inflight_info = None
         self.metrics.record_busy(
             self.name, busy_start, self.sim.now, conflict_retry=conflict_retry
         )
@@ -144,6 +183,9 @@ class QueueScheduler(abc.ABC):
                 t0=busy_start,
                 conflict_retry=conflict_retry,
             )
+        if drop:
+            self._commit_dropped(job)
+        elif rec.enabled:
             with rec.span(
                 "sched.attempt",
                 t=self.sim.now,
@@ -155,6 +197,71 @@ class QueueScheduler(abc.ABC):
         else:
             self.attempt(job)
         self._maybe_start()
+
+    def _commit_dropped(self, job: Job) -> None:
+        """Chaos dropped this attempt's commit in flight.
+
+        The thinking happened but its outcome never reached the cell
+        state, so the work is accounted as a conflicted transaction and
+        the job goes back through the conflict-retry path.
+        """
+        self.metrics.record_commit(self.name, conflicted=True, time=self.sim.now)
+        self.metrics.record_commit_dropped(self.name)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "fault.commit_drop",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts + 1,
+            )
+        self._abort_attempt(job)
+        self._resolve_attempt(job, had_conflict=True)
+
+    # ------------------------------------------------------------------
+    # Crash/restart (driven by the chaos engine)
+    # ------------------------------------------------------------------
+    def crash(self) -> Job | None:
+        """Crash now: the in-flight transaction is lost and the
+        scheduler serves nothing until :meth:`restart`.
+
+        The job being thought about (if any) is returned and requeued at
+        the front — its attempt never completed, so no attempt is
+        counted, but the planning work (busy time) is already spent.
+        """
+        if self._down:
+            return None
+        self._down = True
+        lost: Job | None = None
+        if self._inflight is not None:
+            self.sim.cancel(self._inflight)
+            self._inflight = None
+            job, busy_start, conflict_retry = self._inflight_info
+            self._inflight_info = None
+            lost = job
+            # The wasted planning work still counts as busyness.
+            self.metrics.record_busy(
+                self.name, busy_start, self.sim.now, conflict_retry=conflict_retry
+            )
+            self._busy = False
+            self._abort_attempt(job)
+            self._requeue(job, at_front=True)
+        return lost
+
+    def restart(self) -> None:
+        """Recover from a crash and resume serving the queue."""
+        if not self._down:
+            return
+        self._down = False
+        self._maybe_start()
+
+    def _abort_attempt(self, job: Job) -> None:
+        """Discard attempt-scoped state after a crash or commit drop.
+
+        Subclasses clean up what an interrupted attempt left behind
+        (Omega drops its private snapshot; a Mesos framework returns
+        its held offer)."""
 
     # ------------------------------------------------------------------
     # Architecture hooks
@@ -177,10 +284,13 @@ class QueueScheduler(abc.ABC):
     def _resolve_attempt(self, job: Job, had_conflict: bool) -> None:
         """Advance the job's lifecycle after one attempt.
 
-        Retry policy: a *conflicted* job retries immediately at the head
-        of the queue ("the scheduler resyncs its local copy of cell
-        state ... and tries again"); a job that simply found no room
-        goes to the back so other jobs are not blocked behind it.
+        Default retry behaviour (no :attr:`retry_policy`): a
+        *conflicted* job retries immediately at the head of the queue
+        ("the scheduler resyncs its local copy of cell state ... and
+        tries again"); a job that simply found no room goes to the back
+        so other jobs are not blocked behind it. With a policy set, the
+        conflicted path is whatever the policy decides — delayed,
+        back-of-queue, escalated to incremental commits, or abandoned.
         """
         job.attempts += 1
         if had_conflict:
@@ -203,23 +313,22 @@ class QueueScheduler(abc.ABC):
                     )
             job.fully_scheduled_time = self.sim.now
         elif job.attempts >= self.attempt_limit:
-            job.abandoned = True
-            self.metrics.record_abandoned(self.name, job)
-            if rec.enabled:
-                rec.event(
-                    "job.abandoned",
-                    t=self.sim.now,
-                    sched=self.name,
-                    job=job.job_id,
-                    attempt=job.attempts,
-                    unplaced=job.unplaced_tasks,
-                )
+            self._abandon(job, reason="attempt-limit")
         else:
-            job.requeued_for_conflict = had_conflict
             at_front = had_conflict and self.retry_conflicts_at_front
+            delay = 0.0
+            if had_conflict and self.retry_policy is not None:
+                decision = self.retry_policy.decide(job)
+                if decision.action is RetryAction.ABANDON:
+                    self._abandon(job, reason="conflict-cap")
+                    return
+                if decision.escalate:
+                    self._escalate(job)
+                at_front = decision.at_front and self.retry_conflicts_at_front
+                delay = decision.delay
+            job.requeued_for_conflict = had_conflict
             if rec.enabled:
-                rec.event(
-                    "job.requeued",
+                fields = dict(
                     t=self.sim.now,
                     sched=self.name,
                     job=job.job_id,
@@ -227,7 +336,46 @@ class QueueScheduler(abc.ABC):
                     conflict=had_conflict,
                     at_front=at_front,
                 )
-            self._requeue(job, at_front=at_front)
+                if delay > 0:
+                    fields["delay"] = delay
+                rec.event("job.requeued", **fields)
+            if delay > 0:
+                self.sim.after(delay, self._requeue, job, at_front)
+            else:
+                self._requeue(job, at_front=at_front)
+
+    def _abandon(self, job: Job, reason: str) -> None:
+        """Terminal failure: the job stops being retried, explicitly."""
+        job.abandoned = True
+        self.metrics.record_abandoned(self.name, job, reason=reason)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "job.abandoned",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts,
+                unplaced=job.unplaced_tasks,
+                reason=reason,
+            )
+
+    def _escalate(self, job: Job) -> None:
+        """Switch ``job`` to incremental commit mode (paper section 3.6:
+        repeatedly-conflicting jobs stop gang scheduling so partial
+        progress lands). Schedulers honour the flag in attempt()."""
+        job.escalated = True
+        self.metrics.record_escalated(self.name)
+        rec = _obs.RECORDER
+        if rec.enabled:
+            rec.event(
+                "job.escalated",
+                t=self.sim.now,
+                sched=self.name,
+                job=job.job_id,
+                attempt=job.attempts,
+                conflicts=job.conflicts,
+            )
 
     def _start_tasks(self, state: CellState, job: Job, claims: tuple[Claim, ...] | list[Claim]) -> None:
         """Schedule the resource release for tasks that just started."""

@@ -43,6 +43,17 @@ OFFER_TIME = 0.001
 _offer_ids = itertools.count(1)
 
 
+def reset_offer_ids() -> None:
+    """Reset the global offer-id counter (run isolation helper).
+
+    Offer ids are trace-visible, so back-to-back runs in one process
+    (the determinism gate's double-run mode) must each start from 1 —
+    the same discipline as :func:`repro.workload.job.reset_job_ids`.
+    """
+    global _offer_ids
+    _offer_ids = itertools.count(1)
+
+
 class Offer:
     """A pessimistically-locked bundle of per-machine resources."""
 

@@ -37,6 +37,9 @@ class MesosFramework(QueueScheduler):
         self.allocator = allocator
         self._rng = rng
         self._model = model
+        #: The offer held by the in-flight attempt (returned to the
+        #: allocator if the framework crashes mid-think).
+        self._inflight_offer: Offer | None = None
         allocator.register(self)
 
     # ------------------------------------------------------------------
@@ -44,7 +47,7 @@ class MesosFramework(QueueScheduler):
     # ------------------------------------------------------------------
     def wants_offers(self) -> bool:
         """Whether the allocator should send this framework an offer."""
-        return bool(self._queue) and not self._busy
+        return bool(self._queue) and not self._busy and not self._down
 
     def _maybe_start(self) -> None:
         # Frameworks cannot start thinking on their own: they wait for
@@ -56,7 +59,7 @@ class MesosFramework(QueueScheduler):
         """Hold the offer for one job's full decision time, then place."""
         if self._busy:  # pragma: no cover - allocator checks wants_offers()
             raise RuntimeError(f"framework {self.name} offered while busy")
-        if not self._queue:
+        if not self._queue or self._down:
             rec = _obs.RECORDER
             if rec.enabled:
                 rec.event(
@@ -64,7 +67,7 @@ class MesosFramework(QueueScheduler):
                     t=self.sim.now,
                     sched=self.name,
                     offer=offer.offer_id,
-                    reason="no_pending_work",
+                    reason="crashed" if self._down else "no_pending_work",
                 )
             self.allocator.return_offer(offer)
             return
@@ -85,9 +88,22 @@ class MesosFramework(QueueScheduler):
                 offer=offer.offer_id,
             )
         think_time = self.decision_time(job)
-        self.sim.after(think_time, self._offer_complete, job, offer, self.sim.now)
+        drop = False
+        if self.chaos is not None:
+            delay, drop = self.chaos.commit_fault(self, job)
+            think_time += delay
+        self._inflight_offer = offer
+        self._inflight_info = (job, self.sim.now, False)
+        self._inflight = self.sim.after(
+            think_time, self._offer_complete, job, offer, self.sim.now, drop
+        )
 
-    def _offer_complete(self, job: Job, offer: Offer, busy_start: float) -> None:
+    def _offer_complete(
+        self, job: Job, offer: Offer, busy_start: float, drop: bool = False
+    ) -> None:
+        self._inflight = None
+        self._inflight_info = None
+        self._inflight_offer = None
         self.metrics.record_busy(self.name, busy_start, self.sim.now)
         self._busy = False
         rec = _obs.RECORDER
@@ -101,6 +117,22 @@ class MesosFramework(QueueScheduler):
                 t0=busy_start,
                 conflict_retry=False,
             )
+        if drop:
+            # The launch message was lost in flight: nothing was placed,
+            # the offer goes back, and the job waits for a later offer.
+            # Pessimistic concurrency means there is no conflict retry.
+            self.metrics.record_commit_dropped(self.name)
+            if rec.enabled:
+                rec.event(
+                    "fault.commit_drop",
+                    t=self.sim.now,
+                    sched=self.name,
+                    job=job.job_id,
+                    attempt=job.attempts + 1,
+                )
+            self.allocator.return_offer(offer)
+            self._resolve_attempt(job, had_conflict=False)
+            return
         claims = randomized_first_fit(
             offer.free_cpu,
             offer.free_mem,
@@ -134,6 +166,14 @@ class MesosFramework(QueueScheduler):
     # ------------------------------------------------------------------
     # QueueScheduler hooks
     # ------------------------------------------------------------------
+    def _abort_attempt(self, job: Job) -> None:
+        """Crash cleanup: the held offer goes back to the allocator so
+        its resources are not stranded while the framework is down."""
+        offer = self._inflight_offer
+        self._inflight_offer = None
+        if offer is not None:
+            self.allocator.return_offer(offer)
+
     def decision_time(self, job: Job) -> float:
         return self._model.duration(job.unplaced_tasks)
 

@@ -80,6 +80,10 @@ class Job:
     #: conflict (as opposed to a first attempt or a capacity retry).
     #: Used for the "no conflicts" busyness approximation of Figure 12c.
     requeued_for_conflict: bool = field(init=False, default=False)
+    #: Whether a starvation-escalation retry policy switched this job to
+    #: incremental commit mode (the paper's section 3.6 remedy for
+    #: repeatedly-conflicting gang-scheduled jobs).
+    escalated: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if self.num_tasks < 1:

@@ -362,3 +362,113 @@ class TestGEN001:
 
     def test_tuple_default_not_flagged(self):
         assert lint("def f(items=()):\n    return items\n") == []
+
+
+# ----------------------------------------------------------------------
+# FIJ001 — nondeterministic fault-injection hooks
+# ----------------------------------------------------------------------
+class TestFIJ001:
+    """FIJ001 only fires inside the configured fault-injector paths
+    (``repro/faults/*`` and the hifi failure injector by default);
+    DET001/DET002 may fire alongside it, so the assertions check
+    membership, not the full rule list."""
+
+    def test_randomstreams_construction_flagged(self):
+        source = """
+            from repro.sim import RandomStreams
+
+            def install(seed):
+                return RandomStreams(seed).stream("chaos")
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/faults/chaos.py"))
+
+    def test_default_rng_flagged_in_fault_path(self):
+        source = """
+            import numpy as np
+
+            def schedule():
+                return np.random.default_rng(0).exponential(60.0)
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/faults/processes.py"))
+
+    def test_stdlib_random_flagged_in_fault_path(self):
+        source = """
+            import random
+
+            def gap():
+                return random.expovariate(1.0)
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/faults/chaos.py"))
+
+    def test_wall_clock_flagged_in_fault_path(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/faults/chaos.py"))
+
+    def test_datetime_now_flagged_in_fault_path(self):
+        source = """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/faults/invariants.py"))
+
+    def test_hifi_failure_injector_covered_by_default(self):
+        source = """
+            import numpy as np
+
+            rng = np.random.default_rng(1)
+        """
+        assert "FIJ001" in rules_of(lint(source, path="repro/hifi/failures.py"))
+
+    def test_not_flagged_outside_fault_paths(self):
+        source = """
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+        """
+        # DET001 still fires repo-wide; FIJ001 must not.
+        assert "FIJ001" not in rules_of(lint(source))
+
+    def test_forked_stream_parameter_not_flagged(self):
+        source = """
+            import numpy as np
+
+            class Injector:
+                def __init__(self, rng: np.random.Generator) -> None:
+                    self.rng = rng
+
+                def gap(self, mtbf: float) -> float:
+                    return float(self.rng.exponential(mtbf))
+        """
+        assert lint(source, path="repro/faults/processes.py") == []
+
+    def test_custom_fault_injector_paths_honored(self):
+        source = """
+            import random
+
+            def gap():
+                return random.expovariate(1.0)
+        """
+        findings = lint(
+            source,
+            path="repro/custom/injector.py",
+            fault_injector_paths=("repro/custom/*",),
+        )
+        assert "FIJ001" in rules_of(findings)
+
+    def test_shipped_fault_modules_are_clean(self):
+        import pathlib
+
+        from repro.analysis import lint_paths
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        findings = lint_paths(
+            [src / "repro" / "faults", src / "repro" / "hifi" / "failures.py"]
+        )
+        assert findings == []
