@@ -42,7 +42,11 @@ class LintConfig:
     rng_allow: tuple[str, ...] = ("repro/sim/random.py",)
     #: DET002: modules allowed to read the wall clock (observability and
     #: the engine's stats()/profiler bookkeeping — never decision logic).
-    clock_allow: tuple[str, ...] = ("repro/obs/*", "repro/sim/engine.py")
+    clock_allow: tuple[str, ...] = (
+        "repro/obs/*",
+        "repro/sim/engine.py",
+        "repro/recovery/*",
+    )
     #: DET003: scheduler/placement decision paths where unordered
     #: set/dict iteration is flagged.
     decision_paths: tuple[str, ...] = (
@@ -58,6 +62,16 @@ class LintConfig:
     fault_injector_paths: tuple[str, ...] = (
         "repro/faults/*",
         "repro/hifi/failures.py",
+    )
+    #: RBS001: recovery-critical paths (parallel workers, checkpoint
+    #: and artifact writers) where broad exception handlers without a
+    #: re-raise are flagged — swallowed failures there defeat the
+    #: crash-safety guarantees of repro.recovery.
+    recovery_paths: tuple[str, ...] = (
+        "repro/recovery/*",
+        "repro/perf/parallel.py",
+        "repro/experiments/io.py",
+        "repro/obs/export.py",
     )
     #: TXN001: the only modules allowed to mutate master cell-state
     #: resource fields (the section 3.4 optimistic-commit path).

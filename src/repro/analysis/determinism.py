@@ -256,7 +256,56 @@ def main(argv: list[str] | None = None) -> int:
         help="instead of double-running serially, compare --jobs 1 "
         "against --jobs N of the same experiment (N >= 2)",
     )
+    parser.add_argument(
+        "--kill-resume",
+        action="store_true",
+        help="kill-and-resume mode: run the experiment through the "
+        "omega-sim CLI with --checkpoint, SIGKILL it mid-sweep, resume "
+        "it, and fail unless the final table is byte-identical to an "
+        "uninterrupted run (and the trace identical modulo wall time); "
+        "see docs/RECOVERY.md",
+    )
+    parser.add_argument(
+        "--artifacts-dir",
+        default="kill-resume-artifacts",
+        metavar="DIR",
+        help="kill-resume mode: directory for the runs' outputs, "
+        "checkpoint, logs and report (kept for post-mortems)",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=2,
+        metavar="N",
+        help="kill-resume mode: SIGKILL the victim once N sweep points "
+        "are durably checkpointed",
+    )
     args = parser.parse_args(argv)
+
+    if args.kill_resume:
+        import subprocess
+
+        from repro.recovery.gate import run_kill_resume_gate
+
+        try:
+            report = run_kill_resume_gate(
+                experiment=args.experiment,
+                seed=args.seed,
+                scale=args.scale,
+                hours=args.hours,
+                artifacts_dir=args.artifacts_dir,
+                kill_after=args.kill_after,
+            )
+        except (
+            RuntimeError,
+            OSError,
+            ValueError,
+            subprocess.TimeoutExpired,
+        ) as exc:
+            print(f"determinism gate (kill-resume): {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0 if report.identical else 1
 
     try:
         experiment = _representative_experiment(

@@ -17,6 +17,9 @@ FLT001  ``==``/``!=`` on resource floats ignores the EPSILON tolerance
 GEN001  Mutable default arguments alias state across calls.
 FIJ001  Fault-injection hooks built on the wall clock or a non-forked
         RNG make chaos schedules unreplayable.
+RBS001  Swallowed exceptions in recovery-critical paths (workers,
+        checkpoint/artifact writes) turn crash-safety into silent
+        data loss.
 ======  ==============================================================
 
 Rules receive a :class:`ModuleContext` (parsed AST with parent links,
@@ -759,6 +762,73 @@ class FaultInjectionSourceRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# RBS001 — swallowed exceptions in recovery-critical paths
+# ----------------------------------------------------------------------
+class RecoveryExceptionSwallowRule(Rule):
+    """Recovery-critical code must not swallow broad exceptions.
+
+    The crash-safety layer (:mod:`repro.recovery`) only delivers its
+    guarantees if failures *surface*: a worker that catches
+    ``Exception`` and returns a default row corrupts the result table
+    the checkpoint was supposed to protect; an artifact writer that
+    swallows an ``OSError`` mid-``fsync`` reports durability it does
+    not have. Inside the configured recovery paths this rule flags any
+    bare ``except:`` or ``except Exception/BaseException`` handler
+    whose body does not re-raise.
+
+    Deliberate boundaries (e.g. a worker trampoline that ships the
+    exception over a pipe for the parent to re-raise) suppress the rule
+    inline with a stated reason::
+
+        except Exception as exc:  # omega-lint: disable=RBS001 -- shipped over the pipe and re-raised by the parent
+    """
+
+    id = "RBS001"
+    description = (
+        "bare/broad except without re-raise in a recovery-critical path "
+        "(swallowed failures defeat crash-safety)"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not match_path(module.path, module.config.recovery_paths):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = self._broad_name(node.type)
+            if caught is None:
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            yield self.diagnostic(
+                module,
+                node,
+                f"{caught} swallowed in a recovery-critical path: re-raise, "
+                "narrow the except, or suppress inline with a reason",
+            )
+
+    def _broad_name(self, expr: ast.expr | None) -> str | None:
+        """The flaggable handler description, or None if it is narrow."""
+        if expr is None:
+            return "bare except:"
+        names: list[ast.expr] = (
+            list(expr.elts) if isinstance(expr, ast.Tuple) else [expr]
+        )
+        for name in names:
+            if isinstance(name, ast.Attribute):
+                ident = name.attr
+            elif isinstance(name, ast.Name):
+                ident = name.id
+            else:
+                continue
+            if ident in self._BROAD:
+                return f"except {ident}"
+        return None
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: tuple[Rule, ...] = (
     RawRandomRule(),
@@ -768,6 +838,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ResourceFloatEqualityRule(),
     MutableDefaultRule(),
     FaultInjectionSourceRule(),
+    RecoveryExceptionSwallowRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

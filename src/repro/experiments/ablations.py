@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.experiments.common import LightweightConfig, run_lightweight
 from repro.experiments.mesos import pathology_preset
-from repro.experiments.sweeps import SweepPoint, run_sweep
+from repro.experiments.sweeps import SweepPoint, point_label, run_sweep
 from repro.perf.parallel import parallel_map
 from repro.schedulers.base import DecisionTimeModel
 from repro.workload.clusters import CLUSTER_A, CLUSTER_B
@@ -148,7 +148,15 @@ def preemption_rows(
         )
         for enabled in (False, True)
     ]
-    return parallel_map(_preemption_point, points, jobs=jobs)
+    return parallel_map(
+        _preemption_point,
+        points,
+        jobs=jobs,
+        labels=[
+            point_label({"preemption": "on" if enabled else "off"})
+            for enabled, _ in points
+        ],
+    )
 
 
 def placement_strategy_rows(

@@ -26,6 +26,14 @@ Performance (see ``docs/PERFORMANCE.md``): sweep commands accept
 ``--jobs N`` to fan independent sweep points across worker processes
 (results are byte-identical to ``--jobs 1``); ``omega-sim bench`` runs
 the curated performance benchmarks and regression gate.
+
+Recovery (see ``docs/RECOVERY.md``): sweep commands accept
+``--checkpoint DIR`` to durably log each completed sweep point;
+``--resume`` continues an interrupted run from that directory, skipping
+completed points (the final table and trace are identical to an
+uninterrupted run). ``--point-timeout`` / ``--point-attempts`` bound
+how long and how often a sweep point may run; worker crashes are
+retried and surface as ``recovery.*`` trace events.
 """
 
 from __future__ import annotations
@@ -47,6 +55,16 @@ from repro.experiments.io import save_rows
 from repro.faults.retry import RETRY_POLICIES
 from repro.metrics.ascii_chart import line_chart
 from repro.perf.parallel import resolve_jobs
+from repro.recovery import (
+    DEFAULT_POLICY,
+    CheckpointStore,
+    PointFailure,
+    RecoveryContext,
+    RecoveryError,
+    RunManifest,
+    SupervisorPolicy,
+    activate,
+)
 
 
 def _scaled_kwargs(args: argparse.Namespace) -> dict:
@@ -360,6 +378,38 @@ def build_parser() -> argparse.ArgumentParser:
             help="also print simulator engine statistics "
             "(events processed, peak queue depth, wall seconds)",
         )
+        if name in JOBS_COMMANDS:
+            sub.add_argument(
+                "--checkpoint",
+                metavar="DIR",
+                help="durably log each completed sweep point to DIR "
+                "(manifest + append-only JSONL); an interrupted run "
+                "continues with --resume",
+            )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="resume the run recorded in --checkpoint DIR, skipping "
+                "completed points; refuses (exit 2) if the experiment, "
+                "seed or parameters changed",
+            )
+            sub.add_argument(
+                "--point-timeout",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="kill and retry any sweep point running longer than "
+                "this many wall seconds (requires --jobs >= 2)",
+            )
+            sub.add_argument(
+                "--point-attempts",
+                type=int,
+                default=DEFAULT_POLICY.max_attempts,
+                metavar="N",
+                help="attempts per sweep point before the run fails, for "
+                "points lost to worker crashes or timeouts "
+                f"(default {DEFAULT_POLICY.max_attempts})",
+            )
         if name == "resilience":
             sub.add_argument(
                 "--intensities",
@@ -464,6 +514,71 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manifest_parameters(args: argparse.Namespace) -> dict:
+    """The result-determining parameters recorded in a run manifest.
+
+    ``--jobs`` is deliberately absent: parallelism does not change the
+    rows, so a sweep checkpointed with ``--jobs 8`` may resume serially.
+    """
+    parameters = {
+        "scale": args.scale,
+        "hours": args.hours,
+    }
+    if args.command == "resilience":
+        parameters["intensities"] = getattr(args, "intensities", "")
+        parameters["policy"] = getattr(args, "policy", "")
+        parameters["smoke"] = bool(getattr(args, "smoke", False))
+    return parameters
+
+
+def _make_recovery_context(args: argparse.Namespace) -> RecoveryContext | None:
+    """Build the recovery context for a sweep command, or None.
+
+    Raises :class:`RecoveryError` on unusable --checkpoint/--resume
+    combinations (reported as a one-line message, exit 2).
+    """
+    checkpoint_dir = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and not checkpoint_dir:
+        raise RecoveryError("--resume requires --checkpoint DIR")
+    policy = DEFAULT_POLICY
+    timeout = getattr(args, "point_timeout", None)
+    attempts = getattr(args, "point_attempts", DEFAULT_POLICY.max_attempts)
+    if timeout is not None or attempts != DEFAULT_POLICY.max_attempts:
+        try:
+            policy = SupervisorPolicy(point_timeout=timeout, max_attempts=attempts)
+        except ValueError as exc:
+            raise RecoveryError(str(exc)) from exc
+    if not checkpoint_dir:
+        if policy is DEFAULT_POLICY:
+            return None
+        return RecoveryContext(policy=policy)
+    manifest = RunManifest(
+        experiment=args.command,
+        seed=args.seed,
+        parameters=_manifest_parameters(args),
+    )
+    store = CheckpointStore(checkpoint_dir)
+    resumed = 0
+    if resume:
+        resumed = store.resume(manifest)
+        if store.salvaged_line is not None:
+            print(
+                f"checkpoint: dropped a partial record at "
+                f"{store.log_path}:{store.salvaged_line} (crash mid-append); "
+                "the point will re-run",
+                file=sys.stderr,
+            )
+        print(
+            f"checkpoint: resuming from {checkpoint_dir} "
+            f"({resumed} completed point(s) on record)",
+            file=sys.stderr,
+        )
+    else:
+        store.initialize(manifest)
+    return RecoveryContext(store=store, policy=policy, resumed_points=resumed)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
@@ -484,6 +599,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
+    try:
+        context = _make_recovery_context(args)
+    except RecoveryError as exc:
+        print(f"omega-sim: {exc}", file=sys.stderr)
+        return 2
+
     recorder = None
     if getattr(args, "trace", None):
         try:
@@ -493,7 +614,17 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         obs.set_recorder(recorder)
     try:
-        rows = command(args)
+        if context is not None:
+            with activate(context):
+                rows = command(args)
+        else:
+            rows = command(args)
+    except RecoveryError as exc:
+        print(f"omega-sim: {exc}", file=sys.stderr)
+        return 2
+    except PointFailure as exc:
+        print(f"omega-sim: {exc}", file=sys.stderr)
+        return 1
     finally:
         if recorder is not None:
             obs.reset_recorder()
@@ -502,6 +633,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"trace: {recorder.records_emitted} records written to {args.trace}",
                 file=sys.stderr,
             )
+    if context is not None and context.store is not None:
+        print(
+            f"checkpoint: {context.points_completed} point(s) appended, "
+            f"{context.points_skipped} skipped (already complete) in "
+            f"{context.store.directory}",
+            file=sys.stderr,
+        )
     print(format_table(rows))
     if getattr(args, "verbose", False):
         print()

@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.core.transaction import CommitMode, ConflictMode
 from repro.experiments.common import DAY
 from repro.experiments.hifi_perf import make_trace
+from repro.experiments.sweeps import point_label
 from repro.hifi.replay import HighFidelityConfig, run_hifi
 from repro.hifi.trace import Trace
 from repro.perf.parallel import parallel_map
@@ -78,4 +79,12 @@ def figure14_rows(
         for label, conflict_mode, commit_mode in MODES
         for t_job in t_jobs
     ]
-    return parallel_map(_mode_point, points, jobs=jobs)
+    return parallel_map(
+        _mode_point,
+        points,
+        jobs=jobs,
+        labels=[
+            point_label({"mode": label, "t_job_service": t_job})
+            for label, t_job, _ in points
+        ],
+    )

@@ -4,14 +4,29 @@ Experiment drivers return plain row dicts; this module persists them as
 JSON (with a metadata envelope) or CSV so runs can be compared across
 machines, scales and code versions. The ``omega-sim`` CLI exposes this
 via ``--output``.
+
+Writes are atomic (temp-file + fsync + rename, see
+:mod:`repro.recovery.artifacts`): a crashed or killed run can never
+leave a truncated result file behind — the output path either holds the
+complete previous table or the complete new one. JSON envelopes embed a
+``content_hash`` that :func:`load_rows` verifies, so corruption after
+the write (disk faults, partial copies, manual edits) fails loudly
+instead of silently skewing comparisons.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Any
+
+from repro.recovery.artifacts import (
+    atomic_write_text,
+    load_json_artifact,
+    write_json_artifact,
+)
 
 #: Envelope format version, bumped on breaking changes.
 FORMAT_VERSION = 1
@@ -23,11 +38,11 @@ def save_rows(
     experiment: str = "",
     parameters: dict[str, Any] | None = None,
 ) -> Path:
-    """Write rows to ``path``; the suffix picks the format.
+    """Atomically write rows to ``path``; the suffix picks the format.
 
-    ``.json`` wraps the rows in an envelope carrying the experiment name
-    and parameters; ``.csv`` writes a flat table (the union of all row
-    keys, in first-seen order).
+    ``.json`` wraps the rows in an envelope carrying the experiment name,
+    parameters and a ``content_hash``; ``.csv`` writes a flat table (the
+    union of all row keys, in first-seen order).
     """
     path = Path(path)
     if path.suffix == ".json":
@@ -37,17 +52,18 @@ def save_rows(
             "parameters": parameters or {},
             "rows": rows,
         }
-        path.write_text(json.dumps(envelope, indent=2, sort_keys=False) + "\n")
+        write_json_artifact(path, envelope)
     elif path.suffix == ".csv":
         columns: list[str] = []
         for row in rows:
             for key in row:
                 if key not in columns:
                     columns.append(key)
-        with path.open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=columns)
-            writer.writeheader()
-            writer.writerows(rows)
+        buffer = io.StringIO(newline="")
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+        atomic_write_text(path, buffer.getvalue())
     else:
         raise ValueError(
             f"unsupported output format {path.suffix!r}; use .json or .csv"
@@ -58,13 +74,17 @@ def save_rows(
 def load_rows(path: str | Path) -> list[dict]:
     """Read rows written by :func:`save_rows`.
 
-    JSON restores the exact values; CSV values come back as strings
-    (or floats where they parse cleanly), which is sufficient for
-    comparisons and plotting.
+    JSON restores the exact values (verifying the envelope's
+    ``content_hash`` when present; a mismatch raises
+    :class:`~repro.recovery.artifacts.ArtifactError`); CSV values come
+    back as strings (or floats where they parse cleanly), which is
+    sufficient for comparisons and plotting.
     """
     path = Path(path)
     if path.suffix == ".json":
-        envelope = json.loads(path.read_text())
+        envelope = load_json_artifact(
+            path, description="result table", require=("rows",)
+        )
         version = envelope.get("format_version")
         if version != FORMAT_VERSION:
             raise ValueError(

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import LightweightConfig, LightweightSimulation
-from repro.experiments.sweeps import SweepPoint, result_row
+from repro.experiments.sweeps import SweepPoint, point_label, result_row
 from repro.faults import FaultConfig
 from repro.faults.retry import RetryPolicyConfig
 from repro.perf.parallel import parallel_map
@@ -126,7 +126,12 @@ def resilience_rows(
             points.append(
                 (config, {"architecture": architecture, "intensity": intensity})
             )
-    return parallel_map(_resilience_point, points, jobs=jobs)
+    return parallel_map(
+        _resilience_point,
+        points,
+        jobs=jobs,
+        labels=[point_label(extra) for _, extra in points],
+    )
 
 
 def resilience_smoke_rows(seed: int = 3, jobs: int = 1) -> list[dict]:

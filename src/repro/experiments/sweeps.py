@@ -13,6 +13,7 @@ seed, so serial and parallel executions produce identical rows.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
 from repro.core.transaction import CommitMode, ConflictMode
@@ -57,6 +58,17 @@ def result_row(result: LightweightResult, **extra) -> dict:
     return row
 
 
+def point_label(extra: dict) -> str:
+    """A stable, human-readable identity for one sweep point.
+
+    Canonical JSON over the point's extra row fields — used for
+    checkpoint records (``--checkpoint``/``--resume`` keys points by it
+    to refuse resumes whose sweep structure changed) and supervisor
+    failure messages.
+    """
+    return json.dumps(extra, sort_keys=True, separators=(",", ":"))
+
+
 def run_sweep_point(point: SweepPoint) -> dict:
     """Run one sweep point to its result row (parallel-worker body)."""
     config, extra = point
@@ -66,7 +78,12 @@ def run_sweep_point(point: SweepPoint) -> dict:
 def run_sweep(points: Sequence[SweepPoint], jobs: int = 1) -> list[dict]:
     """Run sweep points — serially or across ``jobs`` worker processes —
     and return their rows in point order."""
-    return parallel_map(run_sweep_point, points, jobs=jobs)
+    return parallel_map(
+        run_sweep_point,
+        points,
+        jobs=jobs,
+        labels=[point_label(extra) for _, extra in points],
+    )
 
 
 def service_decision_points(

@@ -463,20 +463,23 @@ def render_report(results: dict) -> str:
 def main_bench(args) -> int:
     """``omega-sim bench`` entry point (argparse namespace in, exit
     status out)."""
+    from repro.recovery.artifacts import ArtifactError, load_json_artifact, write_json_artifact
+
     baseline = None
     if args.baseline:
         try:
-            with open(args.baseline) as handle:
-                baseline = json.load(handle)
-        except (OSError, ValueError) as exc:
-            print(f"omega-sim bench: cannot read baseline: {exc}", file=sys.stderr)
+            baseline = load_json_artifact(
+                args.baseline,
+                description="bench baseline",
+                require=("benchmarks", "machine"),
+            )
+        except ArtifactError as exc:
+            print(f"omega-sim bench: {exc}", file=sys.stderr)
             return 2
     results = run_benchmarks(smoke=args.smoke, jobs=args.jobs)
     print(render_report(results))
     if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(results, handle, indent=2)
-            handle.write("\n")
+        write_json_artifact(args.output, results)
         print(f"results saved to {args.output}", file=sys.stderr)
     failures = gate(results, baseline, tolerance=args.tolerance)
     for failure in failures:

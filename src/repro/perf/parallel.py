@@ -1,17 +1,16 @@
 """Order-preserving parallel execution of independent sweep points.
 
-:func:`parallel_map` is the single entry point: it maps a module-level
-function over picklable work items, fanning out across a
-``multiprocessing`` pool when ``jobs > 1`` and degrading to a plain
-loop when ``jobs <= 1`` or there is only one item. Three guarantees
-make it safe for the experiment drivers:
+:func:`parallel_map` is the single entry point the experiment drivers
+use: it maps a module-level function over picklable work items, fanning
+out across supervised worker processes when ``jobs > 1`` and degrading
+to a plain loop when ``jobs <= 1`` or there is only one item. Three
+guarantees make it safe for the experiment drivers:
 
-* **Determinism** — results come back in submission order
-  (``Pool.map``), and each item's computation must already be
-  self-seeded (every sweep point carries its master seed; see
-  :func:`point_seed` for deriving distinct per-point seeds from one
-  master seed). Serial and parallel runs therefore produce identical
-  result tables.
+* **Determinism** — results come back in submission order, and each
+  item's computation must already be self-seeded (every sweep point
+  carries its master seed; see :func:`point_seed` for deriving distinct
+  per-point seeds from one master seed). Serial and parallel runs
+  therefore produce identical result tables.
 * **Trace equivalence** — when the process-global trace recorder is
   enabled, workers cannot write to the parent's recorder. Instead each
   worker captures its records in a private in-memory recorder and the
@@ -22,15 +21,21 @@ make it safe for the experiment drivers:
 * **Isolation** — workers always reset the global recorder first, so a
   forked copy of a file-backed parent recorder can never interleave
   writes into the parent's file descriptor.
+
+Execution itself lives in :mod:`repro.recovery`: points run under a
+supervisor (per-point timeouts, bounded retry on worker crashes,
+degradation to serial when the pool is unhealthy) and, when the CLI
+activated a checkpoint (``--checkpoint DIR``), completed points are
+durably logged and skipped on ``--resume``. ``labels`` gives each
+point a stable human-readable identity for checkpoint records and
+failure messages; drivers pass the point's extra row fields.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from typing import Any, Callable, Sequence
 
-from repro.obs import recorder as _obs
 from repro.sim.random import derive_seed
 
 
@@ -54,35 +59,11 @@ def point_seed(master_seed: int, label: str) -> int:
     return derive_seed(master_seed, f"sweep-point:{label}")
 
 
-def _plain_call(payload: tuple[Callable[..., Any], tuple]) -> Any:
-    """Worker body when the parent is not tracing."""
-    fn, args = payload
-    # A forked worker inherits the parent's global recorder; writing
-    # through it (worse: through its file descriptor) would corrupt the
-    # parent's trace, so always drop to the null recorder first.
-    _obs.reset_recorder()
-    return fn(*args)
-
-
-def _capturing_call(payload: tuple[Callable[..., Any], tuple]) -> tuple[Any, list[dict]]:
-    """Worker body when the parent is tracing: capture records locally."""
-    fn, args = payload
-    from repro.obs.recorder import TraceRecorder
-
-    recorder = TraceRecorder(keep_records=True)
-    _obs.set_recorder(recorder)
-    try:
-        result = fn(*args)
-    finally:
-        _obs.reset_recorder()
-        recorder.close()
-    return result, recorder.records
-
-
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
     jobs: int | None = 1,
+    labels: Sequence[str] | None = None,
 ) -> list[Any]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -91,21 +72,10 @@ def parallel_map(
     regardless of completion order. ``jobs=None`` or ``0`` uses one
     worker per CPU; ``jobs<=1`` (or a single item) runs serially in
     this process, under the parent's trace recorder as usual.
-    """
-    jobs = resolve_jobs(jobs)
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
 
-    recorder = _obs.RECORDER
-    payloads = [(fn, (item,)) for item in items]
-    processes = min(jobs, len(items))
-    with multiprocessing.Pool(processes=processes) as pool:
-        if recorder.enabled:
-            captured = pool.map(_capturing_call, payloads, chunksize=1)
-            results = []
-            for result, records in captured:
-                recorder.replay(records)
-                results.append(result)
-            return results
-        return pool.map(_plain_call, payloads, chunksize=1)
+    Execution is supervised and checkpoint-aware — see
+    :func:`repro.recovery.runner.execute_map` and docs/RECOVERY.md.
+    """
+    from repro.recovery.runner import execute_map
+
+    return execute_map(fn, items, jobs=resolve_jobs(jobs), labels=labels)

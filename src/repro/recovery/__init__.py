@@ -1,0 +1,79 @@
+"""Durable, crash-safe experiment execution (``repro.recovery``).
+
+The experiment harness produces every figure and table in this
+reproduction, so a harness-level failure mode — a SIGKILL mid-sweep, a
+crashed pool worker, a truncated JSON artifact — is as damaging as a
+simulator bug. This package makes the harness itself survivable, in
+three layers (see ``docs/RECOVERY.md`` for the formats and semantics):
+
+* :mod:`repro.recovery.artifacts` — write-temp-then-rename artifact
+  writes with embedded content hashes, and validating loaders that
+  fail with one-line, actionable :class:`ArtifactError`\\ s instead of
+  stack traces.
+* :mod:`repro.recovery.manifest` / :mod:`repro.recovery.checkpoint` —
+  run manifests (experiment, parameters, master seed, format/code
+  versions) plus an append-then-fsync JSONL checkpoint log with
+  per-record checksums. ``omega-sim <sweep> --checkpoint DIR --resume``
+  skips already-completed sweep points; because every point is
+  self-seeded (:func:`repro.perf.parallel.point_seed` and the per-point
+  ``LightweightConfig.seed``), a resumed run's result table and
+  stitched trace are identical to an uninterrupted run's.
+* :mod:`repro.recovery.supervisor` / :mod:`repro.recovery.runner` — a
+  supervised replacement for the bare ``Pool.map`` fan-out: per-point
+  wall-clock timeouts, bounded retry with deterministic backoff,
+  crashed-worker salvage (the point is requeued, completed results are
+  kept), and graceful degradation to serial execution when the pool is
+  unhealthy. Incidents surface as ``recovery.*`` trace events and
+  metrics counters.
+
+:mod:`repro.recovery.gate` extends the runtime determinism gate with a
+kill-and-resume mode (``python -m repro.analysis.determinism
+--kill-resume``): it SIGKILLs a checkpointed sweep mid-run, resumes it,
+and asserts the final table and trace match an uninterrupted run.
+"""
+
+from repro.recovery.artifacts import (
+    ArtifactError,
+    atomic_write_text,
+    content_hash,
+    load_json_artifact,
+    write_json_artifact,
+)
+from repro.recovery.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    RecoveryError,
+)
+from repro.recovery.manifest import RunManifest
+from repro.recovery.runner import (
+    RecoveryContext,
+    activate,
+    active_context,
+    execute_map,
+)
+from repro.recovery.supervisor import (
+    DEFAULT_POLICY,
+    PointFailure,
+    SupervisorPolicy,
+    supervised_map,
+)
+
+__all__ = [
+    "ArtifactError",
+    "RecoveryError",
+    "PointFailure",
+    "atomic_write_text",
+    "content_hash",
+    "load_json_artifact",
+    "write_json_artifact",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "RunManifest",
+    "RecoveryContext",
+    "activate",
+    "active_context",
+    "execute_map",
+    "DEFAULT_POLICY",
+    "SupervisorPolicy",
+    "supervised_map",
+]

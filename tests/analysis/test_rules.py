@@ -472,3 +472,133 @@ class TestFIJ001:
             [src / "repro" / "faults", src / "repro" / "hifi" / "failures.py"]
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RBS001 — swallowed broad exceptions in recovery paths
+# ----------------------------------------------------------------------
+class TestRBS001:
+    def test_bare_except_flagged_in_recovery_path(self):
+        source = """
+            def append(log, record):
+                try:
+                    log.write(record)
+                except:
+                    pass
+        """
+        findings = lint(source, path="repro/recovery/checkpoint.py")
+        assert rules_of(findings) == ["RBS001"]
+        assert "bare except" in findings[0].message
+
+    def test_broad_except_without_reraise_flagged(self):
+        source = """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+        """
+        assert "RBS001" in rules_of(lint(source, path="repro/recovery/artifacts.py"))
+
+    def test_base_exception_flagged(self):
+        source = """
+            def run(fn):
+                try:
+                    fn()
+                except BaseException:
+                    return None
+        """
+        assert "RBS001" in rules_of(lint(source, path="repro/recovery/supervisor.py"))
+
+    def test_tuple_containing_broad_flagged(self):
+        source = """
+            def run(fn):
+                try:
+                    fn()
+                except (ValueError, Exception):
+                    return None
+        """
+        assert "RBS001" in rules_of(lint(source, path="repro/recovery/runner.py"))
+
+    def test_narrow_except_not_flagged(self):
+        source = """
+            def load(path):
+                try:
+                    return open(path).read()
+                except (OSError, ValueError) as exc:
+                    return str(exc)
+        """
+        assert lint(source, path="repro/recovery/artifacts.py") == []
+
+    def test_reraise_not_flagged(self):
+        source = """
+            def append(log, record):
+                try:
+                    log.write(record)
+                except Exception as exc:
+                    raise RuntimeError("append failed") from exc
+        """
+        assert lint(source, path="repro/recovery/checkpoint.py") == []
+
+    def test_nested_reraise_counts(self):
+        source = """
+            def append(log, record, strict):
+                try:
+                    log.write(record)
+                except Exception as exc:
+                    if strict:
+                        raise
+        """
+        assert lint(source, path="repro/recovery/checkpoint.py") == []
+
+    def test_not_flagged_outside_recovery_paths(self):
+        source = """
+            def best_effort():
+                try:
+                    return 1
+                except Exception:
+                    return None
+        """
+        assert "RBS001" not in rules_of(lint(source))
+
+    def test_covers_experiment_io_and_export_by_default(self):
+        source = """
+            def save(path, text):
+                try:
+                    open(path, "w").write(text)
+                except Exception:
+                    pass
+        """
+        assert "RBS001" in rules_of(lint(source, path="repro/experiments/io.py"))
+        assert "RBS001" in rules_of(lint(source, path="repro/obs/export.py"))
+
+    def test_custom_recovery_paths_honored(self):
+        source = """
+            def save():
+                try:
+                    return 1
+                except Exception:
+                    return None
+        """
+        findings = lint(
+            source,
+            path="repro/custom/saver.py",
+            recovery_paths=("repro/custom/*",),
+        )
+        assert "RBS001" in rules_of(findings)
+
+    def test_shipped_recovery_modules_are_clean(self):
+        import pathlib
+
+        from repro.analysis import lint_paths
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        findings = lint_paths(
+            [
+                src / "repro" / "recovery",
+                src / "repro" / "perf" / "parallel.py",
+                src / "repro" / "experiments" / "io.py",
+                src / "repro" / "obs" / "export.py",
+            ]
+        )
+        assert findings == []

@@ -69,3 +69,45 @@ class TestFormatValidation:
         assert main(["table1", "--output", str(out)]) == 0
         rows = load_rows(out)
         assert any(row["approach"] == "Shared-state (Omega)" for row in rows)
+
+
+class TestAtomicIntegrity:
+    """save_rows writes atomically with an embedded content hash."""
+
+    def test_json_embeds_content_hash(self, tmp_path):
+        from repro.recovery.artifacts import content_hash
+
+        path = save_rows(ROWS, tmp_path / "out.json", experiment="fig8")
+        envelope = json.loads(path.read_text())
+        body = {k: v for k, v in envelope.items() if k != "content_hash"}
+        assert envelope["content_hash"] == content_hash(body)
+
+    def test_tampered_json_rejected(self, tmp_path):
+        from repro.recovery.artifacts import ArtifactError
+
+        path = save_rows(ROWS, tmp_path / "out.json")
+        envelope = json.loads(path.read_text())
+        envelope["rows"][0]["busy_batch"] = 0.99
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ArtifactError, match="integrity check"):
+            load_rows(path)
+
+    def test_truncated_json_rejected_with_one_line(self, tmp_path):
+        from repro.recovery.artifacts import ArtifactError
+
+        path = save_rows(ROWS, tmp_path / "out.json")
+        path.write_text(path.read_text()[:-40])
+        with pytest.raises(ArtifactError) as excinfo:
+            load_rows(path)
+        assert "\n" not in str(excinfo.value)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_rows(ROWS, tmp_path / "out.json")
+        save_rows(ROWS, tmp_path / "out.csv")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["out.csv", "out.json"]
+
+    def test_overwrite_keeps_file_loadable(self, tmp_path):
+        path = save_rows(ROWS, tmp_path / "out.json")
+        save_rows(ROWS[:1], path)
+        assert load_rows(path) == ROWS[:1]

@@ -53,3 +53,43 @@ def test_write_after_close_raises(tmp_path):
     writer.close()
     with pytest.raises(ValueError, match="closed"):
         writer.write({"a": 1})
+
+
+class TestAtomicMode:
+    """atomic=True streams to .tmp and renames on close — a killed run
+    leaves only the clearly-partial temp file, never a torn trace."""
+
+    def test_final_path_absent_until_close(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        writer = JsonlWriter(str(target), atomic=True)
+        writer.write({"a": 1})
+        assert not target.exists()
+        assert (tmp_path / "trace.jsonl.tmp").exists()
+        writer.close()
+        assert target.exists()
+        assert not (tmp_path / "trace.jsonl.tmp").exists()
+        assert read_jsonl(str(target)) == [{"a": 1}]
+
+    def test_abandoned_writer_leaves_only_tmp(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        writer = JsonlWriter(str(target), atomic=True)
+        writer.write({"a": 1})
+        del writer  # simulate a crash: close() never runs
+        assert not target.exists()
+
+    def test_recorder_trace_is_atomic(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(path=str(target))
+        rec.event("txn.begin", t=0.0)
+        assert not target.exists()  # still streaming to .tmp
+        rec.close()
+        records = read_jsonl(str(target))
+        assert len(records) == 1
+        assert records[0]["name"] == "txn.begin"
+
+    def test_double_close_renames_once(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        writer = JsonlWriter(str(target), atomic=True)
+        writer.close()
+        writer.close()  # no-op, must not raise or re-rename
+        assert target.exists()

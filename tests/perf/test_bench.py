@@ -143,3 +143,45 @@ class TestRender:
 
         rc = main(["bench", "--smoke", "--baseline", str(tmp_path / "nope.json")])
         assert rc == 2
+
+    def test_cli_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{truncated")
+        rc = main(["bench", "--smoke", "--baseline", str(baseline)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "omega-sim bench:" in err and "not valid JSON" in err
+
+    def test_cli_list_shaped_baseline_exits_two(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[1, 2, 3]\n")
+        rc = main(["bench", "--smoke", "--baseline", str(baseline)])
+        assert rc == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_cli_tampered_baseline_exits_two(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        from repro.recovery.artifacts import write_json_artifact
+
+        doc = {"benchmarks": {}, "machine": {}, "smoke": True}
+        baseline = tmp_path / "baseline.json"
+        write_json_artifact(baseline, doc)
+        mangled = json.loads(baseline.read_text())
+        mangled["machine"] = {"cpu_count": 999}  # stale content_hash
+        baseline.write_text(json.dumps(mangled))
+        rc = main(["bench", "--smoke", "--baseline", str(baseline)])
+        assert rc == 2
+        assert "integrity check" in capsys.readouterr().err
+
+    def test_cli_output_is_loadable_artifact(self, tmp_path):
+        from repro.experiments.cli import main
+        from repro.recovery.artifacts import load_json_artifact
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--output", str(out)]) == 0
+        doc = load_json_artifact(out, require=("benchmarks", "machine"))
+        assert doc["smoke"] is True

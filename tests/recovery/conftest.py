@@ -1,0 +1,17 @@
+"""Keep process-global observability state isolated per test (the
+supervisor and runner emit ``recovery.*`` events and counters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import reset_recorder, reset_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_globals():
+    reset_recorder()
+    reset_registry()
+    yield
+    reset_recorder()
+    reset_registry()

@@ -1,0 +1,95 @@
+"""CLI --checkpoint/--resume failure paths: one-line messages, exit 2.
+
+Every refusal here happens before any simulation runs, so these tests
+stay fast; the success path (checkpoint, SIGKILL, resume, byte-identical
+output) is exercised end-to-end by the kill-and-resume determinism gate
+(``python -m repro.analysis.determinism --kill-resume``).
+"""
+
+import json
+
+from repro.experiments.cli import main
+from repro.recovery.checkpoint import CheckpointStore
+from repro.recovery.manifest import RunManifest
+
+ARGS = ["fig8", "--scale", "0.05", "--hours", "0.3"]
+
+
+def make_checkpoint(tmp_path, seed=0, points=0):
+    store = CheckpointStore(tmp_path / "ck")
+    store.initialize(
+        RunManifest(
+            experiment="fig8",
+            seed=seed,
+            parameters={"scale": 0.05, "hours": 0.3},
+        )
+    )
+    for index in range(points):
+        store.append(
+            {"sweep": 0, "index": index, "label": "p", "row": {}, "trace": None}
+        )
+    store.close()
+    return store
+
+
+def test_resume_without_checkpoint_exits_two(capsys):
+    assert main(ARGS + ["--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume requires --checkpoint DIR" in err
+    assert err.count("\n") == 1  # one-line message, no stack trace
+
+
+def test_checkpoint_into_existing_run_exits_two(tmp_path, capsys):
+    store = make_checkpoint(tmp_path)
+    assert main(ARGS + ["--checkpoint", str(store.directory)]) == 2
+    assert "already contains a checkpoint" in capsys.readouterr().err
+
+
+def test_resume_with_mismatched_seed_exits_two(tmp_path, capsys):
+    store = make_checkpoint(tmp_path, seed=1)
+    rc = main(
+        ARGS + ["--seed", "2", "--checkpoint", str(store.directory), "--resume"]
+    )
+    assert rc == 2
+    assert "seed 1 != requested 2" in capsys.readouterr().err
+
+
+def test_resume_with_mismatched_parameters_exits_two(tmp_path, capsys):
+    store = make_checkpoint(tmp_path)
+    rc = main(
+        [
+            "fig8",
+            "--scale",
+            "0.25",
+            "--hours",
+            "0.3",
+            "--checkpoint",
+            str(store.directory),
+            "--resume",
+        ]
+    )
+    assert rc == 2
+    assert "parameter scale" in capsys.readouterr().err
+
+
+def test_resume_from_corrupt_log_exits_two(tmp_path, capsys):
+    store = make_checkpoint(tmp_path, points=2)
+    lines = store.log_path.read_text().splitlines(keepends=True)
+    entry = json.loads(lines[0])
+    entry["record"]["row"] = {"tampered": True}  # checksum now wrong
+    lines[0] = json.dumps(entry) + "\n"
+    store.log_path.write_text("".join(lines))
+    rc = main(ARGS + ["--checkpoint", str(store.directory), "--resume"])
+    assert rc == 2
+    assert "corrupt checkpoint record" in capsys.readouterr().err
+
+
+def test_resume_missing_manifest_exits_two(tmp_path, capsys):
+    rc = main(ARGS + ["--checkpoint", str(tmp_path / "nowhere"), "--resume"])
+    assert rc == 2
+    assert "cannot read checkpoint manifest" in capsys.readouterr().err
+
+
+def test_bad_point_timeout_exits_two(tmp_path, capsys):
+    assert main(ARGS + ["--point-timeout", "-1"]) == 2
+    assert "point_timeout must be positive" in capsys.readouterr().err
