@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import timeline as obs_timeline
 
 #: Trace-record fields carrying wall-clock time, never compared.
 WALL_FIELDS = ("wall_ms",)
@@ -249,6 +250,15 @@ def main(argv: list[str] | None = None) -> int:
         "--hours", type=float, default=0.5, help="simulated horizon in hours"
     )
     parser.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also sample timeline.* telemetry every this many simulated "
+        "seconds during the gated runs; the samples are compared like "
+        "every other trace record (see repro.obs.timeline)",
+    )
+    parser.add_argument(
         "--compare-jobs",
         type=int,
         default=0,
@@ -295,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
                 hours=args.hours,
                 artifacts_dir=args.artifacts_dir,
                 kill_after=args.kill_after,
+                timeline_interval=args.timeline_interval,
             )
         except (
             RuntimeError,
@@ -314,14 +325,24 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # pragma: no cover - argparse choices guard this
         print(f"determinism gate: {exc}", file=sys.stderr)
         return 2
-    if args.compare_jobs:
-        try:
-            report = run_parallel_gate(experiment, args.compare_jobs)
-        except ValueError as exc:
-            print(f"determinism gate: {exc}", file=sys.stderr)
-            return 2
-    else:
-        report = run_gate(experiment)
+    try:
+        # Baked into every config the experiment constructs, so the
+        # timeline.* records are gated exactly like any other record.
+        obs_timeline.set_default_interval(args.timeline_interval)
+    except ValueError as exc:
+        print(f"determinism gate: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.compare_jobs:
+            try:
+                report = run_parallel_gate(experiment, args.compare_jobs)
+            except ValueError as exc:
+                print(f"determinism gate: {exc}", file=sys.stderr)
+                return 2
+        else:
+            report = run_gate(experiment)
+    finally:
+        obs_timeline.set_default_interval(None)
     print(report.render())
     if report.records_a == 0:
         print(

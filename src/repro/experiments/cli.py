@@ -11,10 +11,16 @@ Every command prints the same rows the corresponding benchmark emits;
 sets the simulated horizon.
 
 Observability (see ``docs/OBSERVABILITY.md``): every command accepts
-``--trace FILE`` to record a structured JSONL trace of the run and
-``--verbose`` to print engine statistics; ``omega-sim trace FILE``
-summarizes a recorded trace (per-scheduler conflict fractions,
-busy-time breakdown, conflict timelines, retry chains).
+``--trace FILE`` to record a structured JSONL trace of the run,
+``--timeline-interval SECONDS`` to sample ``timeline.*`` telemetry
+series (utilization, busy fraction, conflict rate) on the simulated
+clock, and ``--verbose`` to print engine statistics. ``omega-sim
+omega`` runs a single Omega operating point, the natural target for
+tracing. Consumers: ``omega-sim trace FILE`` summarizes a trace
+(``--json`` for the machine-readable rollup), ``omega-sim perfetto
+FILE`` converts it to Chrome/Perfetto trace-event JSON for
+ui.perfetto.dev, and ``omega-sim report FILE...`` renders a
+self-contained HTML report with SVG charts and percentile tables.
 
 Static analysis (see ``docs/STATIC_ANALYSIS.md``): ``omega-sim lint
 [PATHS]`` runs the omega-lint rule pass (determinism,
@@ -45,6 +51,7 @@ from typing import Callable
 
 from repro import obs
 from repro.analysis import cli as lint
+from repro.obs import timeline as obs_timeline
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
@@ -119,6 +126,15 @@ def _cmd_fig8(args) -> list[dict]:
 
 def _cmd_fig9(args) -> list[dict]:
     return omega_experiments.figure9_rows(**_scaled_kwargs(args))
+
+
+def _cmd_omega(args) -> list[dict]:
+    return omega_experiments.single_run_rows(
+        cluster=args.cluster,
+        rate_factor=args.rate_factor,
+        smoke=args.smoke,
+        **_scaled_kwargs(args),
+    )
 
 
 def _cmd_fig10(args) -> list[dict]:
@@ -227,6 +243,8 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig7": (_cmd_fig7, "two-level (Mesos): wait, busyness, abandoned jobs"),
     "fig8": (_cmd_fig8, "Omega: scaling the batch arrival rate"),
     "fig9": (_cmd_fig9, "Omega: 1-32 load-balanced batch schedulers"),
+    "omega": (_cmd_omega, "one Omega run at a single operating point "
+              "(pairs with --trace/--timeline-interval)"),
     "fig10": (_cmd_fig10, "busyness surfaces for all five schemes"),
     "fig11": (_cmd_fig11, "hifi: service busyness over t_job x t_task (C)"),
     "fig12": (_cmd_fig12, "hifi: cluster B sweep w/ conflict fraction"),
@@ -263,6 +281,7 @@ JOBS_COMMANDS = frozenset(
         "fig7",
         "fig8",
         "fig9",
+        "omega",
         "fig10",
         "fig14",
         "ablation-offer",
@@ -378,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="also print simulator engine statistics "
             "(events processed, peak queue depth, wall seconds)",
         )
+        sub.add_argument(
+            "--timeline-interval",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="sample timeline.* telemetry (cell utilization, queue "
+            "depth, busy fraction, conflict rate) every this many "
+            "simulated seconds; records land in the --trace file",
+        )
         if name in JOBS_COMMANDS:
             sub.add_argument(
                 "--checkpoint",
@@ -409,6 +437,24 @@ def build_parser() -> argparse.ArgumentParser:
                 help="attempts per sweep point before the run fails, for "
                 "points lost to worker crashes or timeouts "
                 f"(default {DEFAULT_POLICY.max_attempts})",
+            )
+        if name == "omega":
+            sub.add_argument(
+                "--cluster",
+                default="B",
+                help="cluster preset letter (default B)",
+            )
+            sub.add_argument(
+                "--rate-factor",
+                type=float,
+                default=1.0,
+                help="relative batch arrival-rate multiplier",
+            )
+            sub.add_argument(
+                "--smoke",
+                action="store_true",
+                help="CI smoke variant: 5%% cell, 30 simulated minutes "
+                "(ignores --scale/--hours)",
             )
         if name == "resilience":
             sub.add_argument(
@@ -487,6 +533,43 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--bins", type=int, default=12, help="conflict-timeline bins"
     )
+    trace_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable rollup (scheduler rows, "
+        "percentiles, conflict timelines, timeline.* series) as JSON "
+        "instead of the text report",
+    )
+
+    perfetto_parser = subparsers.add_parser(
+        "perfetto",
+        help="convert a JSONL trace to Chrome/Perfetto trace-event JSON "
+        "(open the result in ui.perfetto.dev): spans and sched.busy "
+        "intervals become duration events, timeline.* samples become "
+        "counter tracks",
+    )
+    perfetto_parser.add_argument("file", help="JSONL trace file to convert")
+    perfetto_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="output path (default: INPUT.perfetto.json)",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render JSONL trace(s) as a self-contained static HTML "
+        "report: timeline charts (inline SVG), per-scheduler percentile "
+        "tables, conflict timelines; several traces compare side by side",
+    )
+    report_parser.add_argument(
+        "files", nargs="+", metavar="FILE", help="JSONL trace file(s)"
+    )
+    report_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default="report.html",
+        help="output path (default: report.html)",
+    )
     return parser
 
 
@@ -502,7 +585,16 @@ def _verbose_stats_table() -> str:
 def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         summary = obs.summarize_file(args.file)
-        report = summary.render(top_jobs=args.jobs, bins=args.bins)
+        if args.json:
+            import json
+
+            report = json.dumps(
+                summary.json_rollup(top_jobs=args.jobs, bins=args.bins),
+                indent=2,
+                sort_keys=True,
+            )
+        else:
+            report = summary.render(top_jobs=args.jobs, bins=args.bins)
     except (OSError, ValueError) as exc:
         print(f"omega-sim trace: {exc}", file=sys.stderr)
         return 2
@@ -511,6 +603,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except BrokenPipeError:
         # Reports are long; piping into `head`/`less -F` is routine.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _cmd_perfetto(args: argparse.Namespace) -> int:
+    from repro.obs.perfetto import export_file
+
+    output = args.output or f"{args.file}.perfetto.json"
+    try:
+        count = export_file(args.file, output)
+    except (OSError, ValueError) as exc:
+        print(f"omega-sim perfetto: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"perfetto: {count} trace events written to {output} "
+        "(open in ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    try:
+        size = write_report(args.files, args.output)
+    except (OSError, ValueError) as exc:
+        print(f"omega-sim report: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"report: {len(args.files)} trace(s) rendered to {args.output} "
+        f"({size} bytes)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -524,6 +649,14 @@ def _manifest_parameters(args: argparse.Namespace) -> dict:
         "scale": args.scale,
         "hours": args.hours,
     }
+    # Only recorded when set: sampling changes the trace, so a resume
+    # must match, but older checkpoints (no such key) stay resumable.
+    if getattr(args, "timeline_interval", None) is not None:
+        parameters["timeline_interval"] = args.timeline_interval
+    if args.command == "omega":
+        parameters["cluster"] = args.cluster
+        parameters["rate_factor"] = args.rate_factor
+        parameters["smoke"] = bool(args.smoke)
     if args.command == "resilience":
         parameters["intensities"] = getattr(args, "intensities", "")
         parameters["policy"] = getattr(args, "policy", "")
@@ -585,11 +718,24 @@ def main(argv: list[str] | None = None) -> int:
         return lint.run_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "perfetto":
+        return _cmd_perfetto(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "bench":
         from repro.perf.bench import main_bench
 
         return main_bench(args)
     command, _ = COMMANDS[args.command]
+    timeline_interval = getattr(args, "timeline_interval", None)
+    if timeline_interval is not None:
+        try:
+            # Process-wide default: every LightweightConfig the command
+            # builds (including pickled sweep points) inherits it.
+            obs_timeline.set_default_interval(timeline_interval)
+        except ValueError as exc:
+            print(f"omega-sim: {exc}", file=sys.stderr)
+            return 2
     if getattr(args, "jobs", 1) != 1:
         args.jobs = resolve_jobs(args.jobs)
         if args.command not in JOBS_COMMANDS:
@@ -626,6 +772,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"omega-sim: {exc}", file=sys.stderr)
         return 1
     finally:
+        if timeline_interval is not None:
+            obs_timeline.set_default_interval(None)
         if recorder is not None:
             obs.reset_recorder()
             recorder.close()

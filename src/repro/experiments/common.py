@@ -25,7 +25,8 @@ from repro.faults.retry import RetryPolicy, RetryPolicyConfig
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
 from repro.obs import recorder as _obs
-from repro.obs.registry import publish_sim_stats
+from repro.obs import timeline as _timeline
+from repro.obs.registry import Histogram, publish_sim_stats
 from repro.schedulers.base import DecisionTimeModel
 from repro.schedulers.mesos import MesosAllocator, MesosFramework, reset_offer_ids
 from repro.schedulers.monolithic import MonolithicScheduler
@@ -91,6 +92,12 @@ class LightweightConfig:
     #: Run a :class:`~repro.faults.CellStateInvariantChecker` every this
     #: many seconds during the run; ``None`` disables continuous checks.
     invariant_check_interval: float | None = None
+    #: Emit ``timeline.*`` trace records every this many simulated
+    #: seconds (see :mod:`repro.obs.timeline`). ``None`` falls back to
+    #: the process-wide default (``--timeline-interval``), resolved here
+    #: at construction time so sweep configs pickled to ``--jobs N``
+    #: workers carry the concrete value.
+    timeline_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -109,6 +116,12 @@ class LightweightConfig:
             raise ValueError(
                 "invariant_check_interval must be positive, got "
                 f"{self.invariant_check_interval}"
+            )
+        if self.timeline_interval is None:
+            self.timeline_interval = _timeline.default_interval()
+        if self.timeline_interval is not None and self.timeline_interval <= 0:
+            raise ValueError(
+                f"timeline_interval must be positive, got {self.timeline_interval}"
             )
 
     @property
@@ -152,6 +165,7 @@ class LightweightSimulation:
         self.ledger: AllocationLedger | None = None
         self.chaos: ChaosEngine | None = None
         self.invariant_checker: CellStateInvariantChecker | None = None
+        self.timeline_sampler: _timeline.TimelineSampler | None = None
         self.utilization_series: list[tuple[float, float, float]] = []
         self._built = False
 
@@ -195,6 +209,17 @@ class LightweightSimulation:
                 self._sample_utilization,
                 until=self.config.horizon,
             )
+        if config.timeline_interval is not None:
+            self.timeline_sampler = _timeline.TimelineSampler(
+                self.sim,
+                self.metrics,
+                self.states,
+                self.schedulers,
+                interval=config.timeline_interval,
+                horizon=config.horizon,
+                chaos=self.chaos,
+            )
+            self.timeline_sampler.install()
         return self
 
     def _build_monolithic_single(self) -> None:
@@ -435,6 +460,22 @@ class LightweightSimulation:
             (self.sim.now, self.cpu_utilization(), self.mem_utilization())
         )
 
+    def _histogram_states(self) -> list[dict]:
+        """The collector registry's histograms, serialized for the
+        end-of-run ``run.metrics`` trace record.
+
+        Sorted by (name, labels) so the record is independent of
+        registry insertion order.
+        """
+        histograms = [
+            metric for metric in self.metrics.registry if isinstance(metric, Histogram)
+        ]
+        histograms.sort(key=lambda m: (m.name, tuple(sorted(m.labels.items()))))
+        return [
+            {"name": metric.name, "labels": metric.labels, "state": metric.state()}
+            for metric in histograms
+        ]
+
     def check_invariants(self) -> list[str]:
         """Post-run invariant gate over every cell state (and ledger).
 
@@ -465,6 +506,12 @@ class LightweightSimulation:
         self.sim.run(until=self.config.horizon)
         stats = self.sim.stats()
         publish_sim_stats(stats)
+        if rec.enabled:
+            rec.event(
+                "run.metrics",
+                t=self.sim.now,
+                histograms=self._histogram_states(),
+            )
         return LightweightResult(
             metrics=self.metrics,
             horizon=self.config.horizon,

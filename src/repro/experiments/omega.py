@@ -78,6 +78,33 @@ def figure8_rows(
     return run_sweep(points, jobs=jobs)
 
 
+def single_run_rows(
+    cluster: str = "B",
+    rate_factor: float = 1.0,
+    smoke: bool = False,
+    horizon: float = DAY,
+    seed: int = 0,
+    scale: float = 1.0,
+    jobs: int = 1,
+) -> list[dict]:
+    """One Omega run at a single operating point.
+
+    The figure drivers sweep whole parameter grids; this one runs
+    exactly one shared-state simulation, which is the right shape for
+    recording a time-resolved trace (``--trace`` plus
+    ``--timeline-interval``) and inspecting it with ``omega-sim trace``
+    / ``perfetto`` / ``report``. ``smoke`` is the CI variant: a 5%
+    cell for 30 simulated minutes, ignoring ``scale``/``horizon``.
+    """
+    if smoke:
+        scale = 0.05
+        horizon = 1800.0
+    points = batch_load_points(
+        (rate_factor,), cluster=cluster, horizon=horizon, seed=seed, scale=scale
+    )
+    return run_sweep(points, jobs=jobs)
+
+
 def figure8_saturation_points(rows: list[dict]) -> dict[str, float | None]:
     """Per-cluster saturation factors (the dashed vertical lines)."""
     points: dict[str, float | None] = {}

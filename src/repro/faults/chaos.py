@@ -161,6 +161,11 @@ class ChaosEngine:
     def tasks_killed(self) -> int:
         return sum(process.tasks_killed for process in self.processes)
 
+    @property
+    def machines_down(self) -> int:
+        """Machines currently failed and awaiting repair, across cells."""
+        return sum(process.machines_down for process in self.processes)
+
     # ------------------------------------------------------------------
     def install(
         self,

@@ -18,7 +18,13 @@ provides the three layers that make those visible:
 
 Traces export to JSONL (:mod:`repro.obs.export`) and summarize into
 conflict timelines, retry chains, and busy-time breakdowns
-(:mod:`repro.obs.summary`, surfaced as ``omega-sim trace``).
+(:mod:`repro.obs.summary`, surfaced as ``omega-sim trace``). On top of
+the raw records sit the time-resolved consumers: the config-gated
+:mod:`repro.obs.timeline` sampler records ``timeline.*`` telemetry
+series on the simulated clock, :mod:`repro.obs.perfetto` converts any
+trace to Chrome/Perfetto trace-event JSON (``omega-sim perfetto``), and
+:mod:`repro.obs.report` renders self-contained HTML reports with inline
+SVG charts (``omega-sim report``).
 
 Enable tracing around any run::
 
@@ -36,6 +42,7 @@ See ``docs/OBSERVABILITY.md`` for the record schema and a walkthrough.
 """
 
 from repro.obs.export import JsonlWriter, read_jsonl, write_jsonl
+from repro.obs.perfetto import export_perfetto
 from repro.obs.profile import CallbackProfiler, callback_name
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -56,7 +63,9 @@ from repro.obs.registry import (
     publish_sim_stats,
     reset_registry,
 )
-from repro.obs.summary import TraceSummary, summarize_file
+from repro.obs.report import generate_report, write_report
+from repro.obs.summary import TraceSummary, json_safe, summarize_file
+from repro.obs.timeline import TimelineSampler, default_interval, set_default_interval
 
 __all__ = [
     # recorder
@@ -84,5 +93,13 @@ __all__ = [
     "read_jsonl",
     "write_jsonl",
     "TraceSummary",
+    "json_safe",
     "summarize_file",
+    # time-resolved consumers
+    "TimelineSampler",
+    "default_interval",
+    "set_default_interval",
+    "export_perfetto",
+    "generate_report",
+    "write_report",
 ]

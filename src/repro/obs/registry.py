@@ -160,9 +160,61 @@ class Histogram:
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
             "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
             "min": self._min if self.count else float("nan"),
             "max": self._max if self.count else float("nan"),
         }
+
+    # ------------------------------------------------------------------
+    # Serializable state (trace `run.metrics` records, multi-run merges)
+    # ------------------------------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the histogram's full internal state.
+
+        ``min``/``max`` are ``None`` while the histogram is empty (the
+        internal +-inf sentinels are not valid JSON).
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict[str, Any], name: str = "", labels: dict[str, str] | None = None
+    ) -> "Histogram":
+        """Rebuild a histogram from a :meth:`state` dict."""
+        histogram = cls(name, labels or {}, buckets=tuple(state["bounds"]))
+        histogram.merge_state(state)
+        return histogram
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Bucket bounds must match exactly — merging differently-shaped
+        histograms would silently mis-bucket, so it is an error.
+        """
+        if tuple(state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        counts = state["counts"]
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket count differs"
+            )
+        for index, value in enumerate(counts):
+            self.counts[index] += value
+        self.count += state["count"]
+        self.total += state["total"]
+        if state["min"] is not None and state["min"] < self._min:
+            self._min = float(state["min"])
+        if state["max"] is not None and state["max"] > self._max:
+            self._max = float(state["max"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name}{_label_suffix(self.labels)} n={self.count}>"

@@ -12,14 +12,22 @@ Turns a stream of trace records (in memory or loaded from JSONL via
   per scheduler;
 * **retry chains** — the per-job sequence of attempts with outcomes,
   ranked by length, which is how you answer "*why* did job 17 take 14
-  attempts?".
+  attempts?";
+* **timeline series** — the ``timeline.*`` samples recorded by
+  :mod:`repro.obs.timeline` (utilization, busy fraction, conflict
+  rate over simulated time), grouped per run and per scheduler;
+* **wait-time percentiles** — p50/p90/p99/p99.9 per scheduler, merged
+  from the histogram states each run's ``run.metrics`` record carries.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Any, Iterable
+
+from repro.obs.registry import Histogram
 
 
 @dataclass
@@ -92,6 +100,13 @@ class TraceSummary:
         self.schedulers: dict[str, SchedulerSummary] = {}
         self.jobs: dict[int, JobSummary] = {}
         self.max_t = 0.0
+        #: ``timeline.cell`` samples: ``{"t", "run", ...fields}`` dicts.
+        self.timeline_cell: list[dict[str, Any]] = []
+        #: ``timeline.sched`` samples keyed by scheduler name.
+        self.timeline_sched: dict[str, list[dict[str, Any]]] = {}
+        #: Wait-time (etc.) histograms merged from ``run.metrics``
+        #: records, keyed by (metric name, sorted label items).
+        self.histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -126,6 +141,25 @@ class TraceSummary:
 
         if name == "run.start":
             self.runs += 1
+            return
+        if name == "timeline.cell":
+            self.timeline_cell.append({"t": t, "run": self.runs, **fields})
+            return
+        if name == "timeline.sched" and sched is not None:
+            series = self.timeline_sched.setdefault(sched, [])
+            series.append({"t": t, "run": self.runs, **fields})
+            return
+        if name == "run.metrics":
+            for entry in fields.get("histograms", ()):
+                labels = entry.get("labels") or {}
+                key = (entry["name"], tuple(sorted(labels.items())))
+                histogram = self.histograms.get(key)
+                if histogram is None:
+                    self.histograms[key] = Histogram.from_state(
+                        entry["state"], name=entry["name"], labels=dict(labels)
+                    )
+                else:
+                    histogram.merge_state(entry["state"])
             return
         if job_id is not None:
             self._job(job_id)._touch(t, sched, record.get("attempt"))
@@ -215,6 +249,37 @@ class TraceSummary:
             counts[index] += 1
         return [(i * width, counts[i]) for i in range(bins)]
 
+    def timeline_sample_count(self) -> int:
+        """Total ``timeline.*`` samples ingested (cell samples)."""
+        return len(self.timeline_cell)
+
+    def percentile_rows(self) -> list[dict[str, Any]]:
+        """Per-scheduler wait-time percentile rows (p50/p90/p99/p99.9).
+
+        Sourced from the ``jobs.wait_seconds`` histograms that each
+        run's ``run.metrics`` record serializes; empty when the trace
+        predates that record (older traces still summarize fine).
+        """
+        rows = []
+        for (name, label_items), histogram in sorted(self.histograms.items()):
+            if name != "jobs.wait_seconds":
+                continue
+            labels = dict(label_items)
+            summary = histogram.summary()
+            rows.append(
+                {
+                    "scheduler": labels.get("scheduler", "?"),
+                    "count": summary["count"],
+                    "mean_s": summary["mean"],
+                    "p50_s": summary["p50"],
+                    "p90_s": summary["p90"],
+                    "p99_s": summary["p99"],
+                    "p999_s": summary["p999"],
+                    "max_s": summary["max"],
+                }
+            )
+        return rows
+
     def retry_chains(self, top_n: int = 5) -> list[JobSummary]:
         """The ``top_n`` jobs with the most attempts, longest first."""
         if top_n < 1:
@@ -261,6 +326,12 @@ class TraceSummary:
             lines.append("per-scheduler rollup:")
             lines.append(_format_rows(self.scheduler_rows()))
 
+            percentiles = self.percentile_rows()
+            if percentiles:
+                lines.append("")
+                lines.append("per-scheduler wait-time percentiles (seconds):")
+                lines.append(_format_rows(percentiles))
+
             timelines = [
                 (name, self.conflict_timeline(name, bins=bins))
                 for name in self.scheduler_names()
@@ -296,7 +367,71 @@ class TraceSummary:
                     f"{job.conflicts} conflicts, {status}"
                     + (f" at t={job.last_t:.1f}s" if job.last_t is not None else "")
                 )
+        if self.timeline_cell:
+            lines.append("")
+            lines.append(
+                f"timeline: {len(self.timeline_cell)} samples over "
+                f"{len(self.timeline_sched)} scheduler series "
+                "(chart them with `omega-sim report`)"
+            )
         return "\n".join(lines)
+
+    def json_rollup(self, top_jobs: int = 5, bins: int = 12) -> dict[str, Any]:
+        """The machine-readable ``omega-sim trace --json`` document.
+
+        Mirrors :meth:`render` section by section. NaN/inf never appear
+        (they are not valid JSON): missing values serialize as null.
+        """
+        chains = [
+            {
+                "job": job.job_id,
+                "scheduler": job.sched,
+                "attempts": job.attempts,
+                "conflicts": job.conflicts,
+                "scheduled": job.scheduled,
+                "abandoned": job.abandoned,
+                "first_t": job.first_t,
+                "last_t": job.last_t,
+            }
+            for job in self.retry_chains(top_jobs)
+            if job.attempts > 0
+        ]
+        document = {
+            "records": self.records,
+            "runs": self.runs,
+            "max_t": self.max_t,
+            "record_names": dict(sorted(self.record_names.items())),
+            "scheduler_rows": self.scheduler_rows(),
+            "percentile_rows": self.percentile_rows(),
+            "conflict_timelines": {
+                name: [
+                    {"bin_start": start, "conflicts": count}
+                    for start, count in self.conflict_timeline(name, bins=bins)
+                ]
+                for name in self.scheduler_names()
+                if self.schedulers[name].txn_conflicted
+            },
+            "retry_chains": chains,
+            "timeline": {
+                "cell": self.timeline_cell,
+                "schedulers": {
+                    name: self.timeline_sched[name]
+                    for name in sorted(self.timeline_sched)
+                },
+            },
+        }
+        return json_safe(document)
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats with None (valid JSON)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(inner) for inner in value]
+    return value
 
 
 _SPARK_LEVELS = " .:-=+*#%@"

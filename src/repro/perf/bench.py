@@ -1,7 +1,7 @@
 """Curated performance benchmarks and the regression gate behind
 ``omega-sim bench``.
 
-Four benchmarks cover the hot paths this repository optimises:
+Five benchmarks cover the hot paths this repository optimises:
 
 ``snapshot_resync``
     Incremental :meth:`repro.core.cellstate.CellSnapshot.resync` against
@@ -14,6 +14,12 @@ Four benchmarks cover the hot paths this repository optimises:
 ``event_loop``
     Raw :class:`repro.sim.Simulator` dispatch throughput
     (events/second).
+``tracing_overhead``
+    The event-loop benchmark with an instrumented tick: uninstrumented
+    vs no-op recorder vs active recorder vs active recorder plus the
+    :class:`~repro.obs.timeline.TimelineSampler`. The no-op recorder
+    (the default in every untraced run) must retain at least
+    :data:`NOOP_THROUGHPUT_FLOOR` of uninstrumented throughput.
 ``sweep_serial_parallel``
     A reduced Figure 5c sweep run serially and with ``--jobs 4``
     through :mod:`repro.perf.parallel`. The rows must be byte-identical
@@ -59,6 +65,11 @@ PARALLEL_SPEEDUP_FLOOR = 2.0
 #: Core count below which the parallel-speedup expectation is recorded
 #: but not enforced.
 PARALLEL_MIN_CORES = 4
+
+#: The default no-op recorder must keep at least this fraction of
+#: uninstrumented event-loop throughput (i.e. tracing hooks may cost
+#: untraced runs at most ~20%).
+NOOP_THROUGHPUT_FLOOR = 0.8
 
 #: Relative tolerance for baseline regression comparisons.
 DEFAULT_TOLERANCE = 0.25
@@ -227,6 +238,91 @@ def bench_event_loop(events: int = 200_000, repeats: int = 3) -> dict:
 
 
 # ----------------------------------------------------------------------
+# tracing_overhead
+# ----------------------------------------------------------------------
+def bench_tracing_overhead(
+    events: int = 200_000, repeats: int = 3, timeline_every: float = 100.0
+) -> dict:
+    """Event-loop throughput under increasing instrumentation.
+
+    Four modes, same event count: ``plain`` (uninstrumented tick, the
+    ``event_loop`` benchmark's shape), ``noop`` (the tick checks
+    ``RECORDER.enabled`` exactly like real hot paths — the cost every
+    untraced run pays), ``active`` (an in-memory
+    :class:`~repro.obs.TraceRecorder`, one record per event) and
+    ``timeline`` (active recorder plus a
+    :class:`~repro.obs.timeline.TimelineSampler` ticking every
+    ``timeline_every`` simulated seconds).
+    """
+    from repro import obs
+    from repro.metrics import MetricsCollector
+    from repro.obs import recorder as _obs
+    from repro.obs.timeline import TimelineSampler
+
+    def run(mode: str) -> float:
+        sim = Simulator()
+        remaining = [events]
+
+        if mode == "plain":
+
+            def tick() -> None:
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    sim.after(1.0, tick)
+
+        else:
+
+            def tick() -> None:
+                rec = _obs.RECORDER
+                if rec.enabled:
+                    rec.event("bench.tick", t=sim.now)
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    sim.after(1.0, tick)
+
+        previous = obs.get_recorder()
+        if mode in ("active", "timeline"):
+            obs.set_recorder(obs.TraceRecorder(keep_records=False))
+        if mode == "timeline":
+            sampler = TimelineSampler(
+                sim,
+                MetricsCollector(),
+                states=[],
+                schedulers=[],
+                interval=timeline_every,
+                horizon=float(events),
+            )
+            sampler.install()
+        sim.after(1.0, tick)
+        try:
+            start = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - start
+        finally:
+            obs.set_recorder(previous)
+        assert remaining[0] == 0
+        return elapsed
+
+    timings = {mode: _best_of(repeats, lambda m=mode: run(m))
+               for mode in ("plain", "noop", "active", "timeline")}
+    rates = {
+        f"{mode}_events_per_s": events / wall_s if wall_s > 0 else float("inf")
+        for mode, wall_s in timings.items()
+    }
+    return {
+        "events": events,
+        "timeline_every_s": timeline_every,
+        **{f"{mode}_s": wall_s for mode, wall_s in timings.items()},
+        **rates,
+        "noop_throughput_ratio": (
+            rates["noop_events_per_s"] / rates["plain_events_per_s"]
+            if rates["plain_events_per_s"] > 0
+            else float("inf")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # sweep_serial_parallel
 # ----------------------------------------------------------------------
 def bench_sweep_serial_parallel(
@@ -279,6 +375,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
                 num_machines=2_000, placements=40, repeats=1
             ),
             "event_loop": bench_event_loop(events=20_000, repeats=1),
+            "tracing_overhead": bench_tracing_overhead(
+                events=20_000, repeats=1, timeline_every=100.0
+            ),
             "sweep_serial_parallel": bench_sweep_serial_parallel(
                 jobs=jobs, horizon=300.0, scale=0.05, t_jobs=(0.1, 10.0),
                 clusters=("A",),
@@ -289,6 +388,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "snapshot_resync": bench_snapshot_resync(),
             "placement_pack": bench_placement_pack(),
             "event_loop": bench_event_loop(),
+            "tracing_overhead": bench_tracing_overhead(),
             "sweep_serial_parallel": bench_sweep_serial_parallel(jobs=jobs),
         }
     results = {
@@ -322,6 +422,21 @@ def evaluate_expectations(results: dict) -> list[dict]:
             "value": resync["speedup"],
             "floor": RESYNC_SPEEDUP_FLOOR,
             "passed": resync["speedup"] >= RESYNC_SPEEDUP_FLOOR,
+            # Smoke sizes are too small for a stable ratio.
+            "enforced": not smoke,
+            "reason": "smoke run: sizes too small for stable timing"
+            if smoke
+            else None,
+        }
+    )
+
+    tracing = benchmarks["tracing_overhead"]
+    expectations.append(
+        {
+            "name": "tracing_noop_throughput",
+            "value": tracing["noop_throughput_ratio"],
+            "floor": NOOP_THROUGHPUT_FLOOR,
+            "passed": tracing["noop_throughput_ratio"] >= NOOP_THROUGHPUT_FLOOR,
             # Smoke sizes are too small for a stable ratio.
             "enforced": not smoke,
             "reason": "smoke run: sizes too small for stable timing"
@@ -367,6 +482,7 @@ _THROUGHPUT_METRICS = {
     "snapshot_resync": ("speedup",),
     "placement_pack": ("placements_per_s",),
     "event_loop": ("events_per_s",),
+    "tracing_overhead": ("noop_events_per_s", "active_events_per_s"),
     "sweep_serial_parallel": ("speedup",),
 }
 
@@ -442,6 +558,14 @@ def render_report(results: dict) -> str:
     )
     loop = results["benchmarks"]["event_loop"]
     lines.append(f"event_loop: {loop['events_per_s']:.0f} events/s")
+    tracing = results["benchmarks"]["tracing_overhead"]
+    lines.append(
+        f"tracing_overhead: plain {tracing['plain_events_per_s']:.0f} ev/s, "
+        f"noop {tracing['noop_events_per_s']:.0f} "
+        f"({tracing['noop_throughput_ratio']:.2f}x), "
+        f"active {tracing['active_events_per_s']:.0f}, "
+        f"active+timeline {tracing['timeline_events_per_s']:.0f}"
+    )
     sweep = results["benchmarks"]["sweep_serial_parallel"]
     identical = "identical" if sweep["identical_rows"] else "DIFFERENT"
     lines.append(

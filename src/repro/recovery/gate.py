@@ -44,9 +44,13 @@ DEFAULT_TIMEOUT = 600.0
 
 
 def _cli_command(
-    experiment: str, seed: int, scale: float, hours: float
+    experiment: str,
+    seed: int,
+    scale: float,
+    hours: float,
+    timeline_interval: float | None = None,
 ) -> list[str]:
-    return [
+    command = [
         sys.executable,
         "-m",
         "repro.experiments.cli",
@@ -58,6 +62,9 @@ def _cli_command(
         "--seed",
         str(seed),
     ]
+    if timeline_interval is not None:
+        command += ["--timeline-interval", str(timeline_interval)]
+    return command
 
 
 def _subprocess_env() -> dict[str, str]:
@@ -102,6 +109,7 @@ def run_kill_resume_gate(
     artifacts_dir: str | Path = "kill-resume-artifacts",
     kill_after: int = DEFAULT_KILL_AFTER,
     timeout: float = DEFAULT_TIMEOUT,
+    timeline_interval: float | None = None,
 ) -> DeterminismReport:
     """Run the reference/victim/resumed trio and diff the outcomes."""
     artifacts = Path(artifacts_dir)
@@ -110,7 +118,7 @@ def run_kill_resume_gate(
     ref_out, ref_trace = artifacts / "ref.json", artifacts / "ref.jsonl"
     vic_out, vic_trace = artifacts / "victim.json", artifacts / "victim.jsonl"
     res_out, res_trace = artifacts / "resumed.json", artifacts / "resumed.jsonl"
-    base = _cli_command(experiment, seed, scale, hours)
+    base = _cli_command(experiment, seed, scale, hours, timeline_interval)
     env = _subprocess_env()
     divergences: list[str] = []
 

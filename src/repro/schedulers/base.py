@@ -115,6 +115,16 @@ class QueueScheduler(abc.ABC):
         """Whether the scheduler is crashed and awaiting restart."""
         return self._down
 
+    @property
+    def busy_since(self) -> float | None:
+        """Start time of the in-flight think, or None when idle.
+
+        Lets samplers credit the partially-elapsed busy interval that
+        :meth:`MetricsCollector.record_busy` only sees at think-complete.
+        """
+        info = self._inflight_info
+        return info[1] if info is not None else None
+
     def submit(self, job: Job) -> None:
         """Enqueue a newly arrived job."""
         self.metrics.record_submission(job)

@@ -91,3 +91,30 @@ class TestCli:
         assert main(["fig16", "--scale", "0.04", "--hours", "0.5"]) == 0
         output = capsys.readouterr().out
         assert "max-parallelism" in output
+
+    def test_omega_smoke_with_timeline_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "omega.jsonl"
+        assert main([
+            "omega", "--smoke", "--trace", str(trace),
+            "--timeline-interval", "60",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--json"]) == 0
+        rollup = json.loads(capsys.readouterr().out)
+        assert rollup["timeline"]["cell"]
+        assert rollup["percentile_rows"]
+        for row in rollup["percentile_rows"]:
+            assert {"p50_s", "p90_s", "p99_s", "p999_s"} <= set(row)
+        # The process-wide sampling default is cleared after the run.
+        from repro.obs import timeline
+
+        assert timeline.default_interval() is None
+
+    def test_timeline_interval_rejects_nonpositive(self, capsys):
+        assert main(["omega", "--smoke", "--timeline-interval", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_trace_json_on_missing_file_exits_2(self, tmp_path):
+        assert main(["trace", str(tmp_path / "absent.jsonl"), "--json"]) == 2

@@ -97,6 +97,53 @@ class TestHistogram:
         with pytest.raises(ValueError, match=r"\[0, 100\]"):
             histogram.percentile(101.0)
 
+    def test_summary_includes_p999(self):
+        histogram = Histogram("wait", {})
+        for value in (0.01, 0.1, 1.0, 10.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["p999"] == pytest.approx(histogram.percentile(99.9))
+        assert summary["p99"] <= summary["p999"] <= summary["max"]
+
+    def test_state_roundtrip(self):
+        histogram = Histogram("wait", {"scheduler": "s1"})
+        for value in (0.02, 0.5, 9.0):
+            histogram.observe(value)
+        restored = Histogram.from_state(
+            histogram.state(), name="wait", labels={"scheduler": "s1"}
+        )
+        assert restored.summary() == histogram.summary()
+        assert restored.state() == histogram.state()
+
+    def test_empty_state_roundtrip(self):
+        histogram = Histogram("wait", {})
+        restored = Histogram.from_state(histogram.state())
+        assert restored.count == 0
+        assert math.isnan(restored.percentile(50.0))
+
+    def test_merge_state_accumulates(self):
+        first = Histogram("wait", {})
+        second = Histogram("wait", {})
+        both = Histogram("wait", {})
+        for value in (0.02, 0.5):
+            first.observe(value)
+            both.observe(value)
+        for value in (9.0, 40.0):
+            second.observe(value)
+            both.observe(value)
+        first.merge_state(second.state())
+        merged, expected = first.summary(), both.summary()
+        assert merged.keys() == expected.keys()
+        for key in expected:
+            # Mean differs by float-summation order; approx covers it.
+            assert merged[key] == pytest.approx(expected[key])
+
+    def test_merge_state_rejects_mismatched_bounds(self):
+        first = Histogram("wait", {}, buckets=(1.0, 2.0))
+        second = Histogram("wait", {}, buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bounds differ"):
+            first.merge_state(second.state())
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_object(self):

@@ -28,14 +28,26 @@ class TestRunBenchmarks:
             "snapshot_resync",
             "placement_pack",
             "event_loop",
+            "tracing_overhead",
             "sweep_serial_parallel",
         }
         assert benchmarks["snapshot_resync"]["speedup"] > 0
         assert benchmarks["placement_pack"]["placements_per_s"] > 0
         assert benchmarks["event_loop"]["events_per_s"] > 0
+        tracing = benchmarks["tracing_overhead"]
+        for mode in ("plain", "noop", "active", "timeline"):
+            assert tracing[f"{mode}_events_per_s"] > 0
+        assert tracing["noop_throughput_ratio"] > 0
 
     def test_json_serializable(self, smoke_results):
         assert json.loads(json.dumps(smoke_results))
+
+    def test_tracing_bench_restores_the_recorder(self):
+        from repro import obs
+
+        before = obs.get_recorder()
+        bench.bench_tracing_overhead(events=200, repeats=1, timeline_every=50.0)
+        assert obs.get_recorder() is before
 
     def test_serial_parallel_rows_identical(self, smoke_results):
         assert smoke_results["benchmarks"]["sweep_serial_parallel"][
@@ -46,6 +58,7 @@ class TestRunBenchmarks:
         names = {e["name"] for e in smoke_results["expectations"]}
         assert names == {
             "resync_speedup",
+            "tracing_noop_throughput",
             "serial_parallel_identical",
             "parallel_speedup",
         }
@@ -54,6 +67,7 @@ class TestRunBenchmarks:
         # recorded but unenforced at smoke sizes.
         assert by_name["serial_parallel_identical"]["enforced"]
         assert not by_name["resync_speedup"]["enforced"]
+        assert not by_name["tracing_noop_throughput"]["enforced"]
         assert not by_name["parallel_speedup"]["enforced"]
         for expectation in smoke_results["expectations"]:
             if not expectation["enforced"]:
@@ -85,11 +99,21 @@ class TestGate:
         failures = bench.gate(results)
         assert any("resync_speedup" in f for f in failures)
 
+    def test_full_mode_enforces_tracing_floor(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["smoke"] = False
+        results["benchmarks"]["tracing_overhead"]["noop_throughput_ratio"] = 0.1
+        results["expectations"] = bench.evaluate_expectations(results)
+        failures = bench.gate(results)
+        assert any("tracing_noop_throughput" in f for f in failures)
+
     def test_parallel_floor_gated_on_cores(self, smoke_results):
         results = copy.deepcopy(smoke_results)
         results["smoke"] = False
         results["machine"]["cpu_count"] = 8
+        # Pin the other full-mode floors so only parallel_speedup varies.
         results["benchmarks"]["snapshot_resync"]["speedup"] = 2.0
+        results["benchmarks"]["tracing_overhead"]["noop_throughput_ratio"] = 1.0
         results["benchmarks"]["sweep_serial_parallel"]["speedup"] = 1.1
         results["expectations"] = bench.evaluate_expectations(results)
         assert any("parallel_speedup" in f for f in bench.gate(results))
