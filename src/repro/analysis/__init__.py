@@ -12,7 +12,13 @@ package enforces them two ways:
   ``# omega-lint: disable=RULE`` suppressions, and ``[tool.omega-lint]``
   configuration in pyproject.toml;
 * **at runtime** — :mod:`repro.analysis.determinism` runs an experiment
-  twice with one master seed and fails on any trace divergence.
+  twice with one master seed and fails on any trace divergence, and
+  :mod:`repro.analysis.sanitizer` ("omega-san") checks transaction
+  isolation live when a run is started with ``--sanitize``.
+
+The per-file rules are joined by interprocedural ones
+(DET101/DET102/TXN101 in :mod:`repro.analysis.taint`) that propagate
+taint over the project call graph (:mod:`repro.analysis.callgraph`).
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
 """
@@ -21,13 +27,18 @@ from repro.analysis.config import LintConfig, load_config
 from repro.analysis.diagnostics import Diagnostic, render_json, render_text
 from repro.analysis.engine import lint_paths, lint_source
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.analysis.taint import ALL_PROJECT_RULES, PROJECT_RULES_BY_ID
 
 # The determinism gate lives in repro.analysis.determinism and is not
 # re-exported here: importing it eagerly would shadow
 # ``python -m repro.analysis.determinism`` (runpy double-import).
+# repro.analysis.sanitizer is likewise imported lazily by its users:
+# the core hot paths guard every hook behind `sanitizer.ACTIVE is None`.
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
+    "PROJECT_RULES_BY_ID",
     "RULES_BY_ID",
     "Diagnostic",
     "LintConfig",

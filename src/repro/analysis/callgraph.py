@@ -1,0 +1,362 @@
+"""Project-wide symbol table and call graph for omega-lint.
+
+The per-file rules (DET001, TXN001, ...) see one module at a time, so a
+one-line wrapper in another module defeats them: a helper that returns
+``random.Random()`` looks clean from the caller's side and the helper's
+module may not be a decision path. The interprocedural rules in
+:mod:`repro.analysis.taint` need to know *who calls whom* across the
+whole tree — this module builds that view.
+
+Construction is purely syntactic (stdlib ``ast``, no imports executed)
+and reuses the :class:`~repro.analysis.rules.ModuleContext` node cache
+built by the engine, so each file is parsed and walked exactly once for
+the whole lint run. Resolution is deliberately conservative:
+
+* module-level functions and class methods become graph nodes
+  (``pkg.mod.func`` / ``pkg.mod.Class.method``); nested ``def``s are
+  attributed to their enclosing function;
+* calls resolve through local ``def``s, ``import``/``from`` aliases
+  (matched by dotted-module *suffix*, so ``src/``-rooted and
+  test-fixture trees both resolve), ``self.method()`` with
+  project-visible single-inheritance bases, and ``Class()`` →
+  ``Class.__init__``;
+* anything else (callables in variables, ``obj.method()`` on values of
+  unknown type) stays unresolved — recorded, but never propagated
+  through. Unresolved calls can only cause missed findings, never
+  false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator, Sequence
+
+from repro.analysis.rules import ModuleContext, dotted_name
+
+
+def module_name(path: str) -> str:
+    """Dotted module name derived from a file path.
+
+    ``src/repro/core/scheduler.py`` -> ``src.repro.core.scheduler``;
+    package ``__init__.py`` files name the package itself. Leading
+    directories stay in the name — imports are resolved by dotted
+    suffix, so the absolute prefix is harmless.
+    """
+    parts = list(PurePosixPath(path).with_suffix("").parts)
+    parts = [part for part in parts if part not in ("/", ".", "..")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part.replace(".", "_") for part in parts)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One graph node: a module-level function or a class method."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    class_name: str | None
+    node: ast.AST = field(repr=False, compare=False)
+
+    @property
+    def display(self) -> str:
+        """Short human name for chain messages."""
+        if self.class_name is not None:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str
+    #: qualname of the resolved callee, or None if unresolved.
+    callee: str | None
+    #: the call expression as written (best effort), for debugging.
+    text: str
+    line: int
+    col: int
+
+
+@dataclass
+class _ClassRecord:
+    qualname: str
+    methods: dict[str, str]  # method name -> function qualname
+    bases: tuple[str, ...]  # base-class names as written
+
+
+@dataclass
+class _ModuleRecord:
+    name: str
+    context: ModuleContext
+    functions: dict[str, str] = field(default_factory=dict)  # local name -> qualname
+    classes: dict[str, _ClassRecord] = field(default_factory=dict)
+    #: local alias -> ("module", dotted) or ("symbol", dotted_module, symbol)
+    imports: dict[str, tuple[str, str] | tuple[str, str, str]] = field(
+        default_factory=dict
+    )
+
+
+class CallGraph:
+    """Symbol table + resolved call edges over a set of modules."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.calls_from: dict[str, list[CallSite]] = {}
+        self.calls_to: dict[str, list[CallSite]] = {}
+        self.modules: dict[str, _ModuleRecord] = {}
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        return self.calls_from.get(qualname, [])
+
+    def callers(self, qualname: str) -> list[CallSite]:
+        return self.calls_to.get(qualname, [])
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All resolved (caller, callee) pairs."""
+        for caller, sites in sorted(self.calls_from.items()):
+            for site in sites:
+                if site.callee is not None:
+                    yield caller, site.callee
+
+    def _add_call(self, site: CallSite) -> None:
+        self.calls_from.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self.calls_to.setdefault(site.callee, []).append(site)
+
+
+def build_call_graph(modules: Sequence[ModuleContext]) -> CallGraph:
+    """Build the project call graph from already-parsed modules."""
+    graph = CallGraph()
+    records = [_index_module(graph, context) for context in modules]
+    for record in records:
+        graph.modules[record.name] = record
+    resolver = _Resolver(graph)
+    for record in records:
+        _collect_calls(graph, resolver, record)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Pass 1 — symbol table
+# ----------------------------------------------------------------------
+def _index_module(graph: CallGraph, context: ModuleContext) -> _ModuleRecord:
+    record = _ModuleRecord(name=module_name(context.path), context=context)
+    for stmt in context.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{record.name}.{stmt.name}"
+            record.functions[stmt.name] = qualname
+            graph.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                name=stmt.name,
+                path=context.path,
+                line=stmt.lineno,
+                class_name=None,
+                node=stmt,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            class_qual = f"{record.name}.{stmt.name}"
+            methods: dict[str, str] = {}
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{class_qual}.{sub.name}"
+                    methods[sub.name] = qualname
+                    graph.functions[qualname] = FunctionInfo(
+                        qualname=qualname,
+                        name=sub.name,
+                        path=context.path,
+                        line=sub.lineno,
+                        class_name=stmt.name,
+                        node=sub,
+                    )
+            bases = tuple(
+                name
+                for name in (dotted_name(base) for base in stmt.bases)
+                if name is not None
+            )
+            record.classes[stmt.name] = _ClassRecord(
+                qualname=class_qual, methods=methods, bases=bases
+            )
+    for stmt in ast.walk(context.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                record.imports[alias.asname or alias.name.split(".")[0]] = (
+                    ("module", alias.name)
+                    if alias.asname is not None or "." not in alias.name
+                    else ("module", alias.name.split(".")[0])
+                )
+                if alias.asname is not None:
+                    record.imports[alias.asname] = ("module", alias.name)
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module is not None:
+            if stmt.level:  # relative import: resolve against this module
+                package = record.name.rsplit(".", stmt.level)[0]
+                target = f"{package}.{stmt.module}" if package else stmt.module
+            else:
+                target = stmt.module
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                record.imports[alias.asname or alias.name] = (
+                    "symbol",
+                    target,
+                    alias.name,
+                )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Pass 2 — call-site resolution
+# ----------------------------------------------------------------------
+class _Resolver:
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self._by_suffix: dict[str, str | None] = {}
+
+    def resolve_module(self, dotted: str) -> _ModuleRecord | None:
+        """Match an imported dotted module name against known modules,
+        exactly or by dotted suffix (unique matches only)."""
+        if dotted in self.graph.modules:
+            return self.graph.modules[dotted]
+        if dotted not in self._by_suffix:
+            tail = "." + dotted
+            hits = [name for name in self.graph.modules if name.endswith(tail)]
+            self._by_suffix[dotted] = hits[0] if len(hits) == 1 else None
+        hit = self._by_suffix[dotted]
+        return self.graph.modules[hit] if hit is not None else None
+
+    def resolve_symbol(
+        self, record: _ModuleRecord, name: str
+    ) -> str | _ClassRecord | _ModuleRecord | None:
+        """What a bare name refers to in ``record``'s module scope:
+        a function qualname, a class record, a module record, or None."""
+        if name in record.functions:
+            return record.functions[name]
+        if name in record.classes:
+            return record.classes[name]
+        entry = record.imports.get(name)
+        if entry is None:
+            # `pkg.sub` where pkg/__init__ does not re-export sub.
+            return self.resolve_module(f"{record.name}.{name}")
+        if entry[0] == "module":
+            return self.resolve_module(entry[1])
+        _, target_module, symbol = entry  # type: ignore[misc]
+        target = self.resolve_module(target_module)
+        if target is None:
+            # `from pkg import mod` where pkg.mod is itself a module.
+            return self.resolve_module(f"{target_module}.{symbol}")
+        if symbol in target.functions:
+            return target.functions[symbol]
+        if symbol in target.classes:
+            return target.classes[symbol]
+        sub = self.resolve_module(f"{target.name}.{symbol}")
+        if sub is not None:
+            return sub
+        return None
+
+    def resolve_method(
+        self, record: _ModuleRecord, klass: _ClassRecord, method: str
+    ) -> str | None:
+        """Find ``method`` on ``klass`` or a project-visible base."""
+        seen: set[str] = set()
+        queue: list[tuple[_ModuleRecord, _ClassRecord]] = [(record, klass)]
+        while queue:
+            owner_record, owner = queue.pop(0)
+            if owner.qualname in seen:
+                continue
+            seen.add(owner.qualname)
+            if method in owner.methods:
+                return owner.methods[method]
+            for base in owner.bases:
+                resolved = self.resolve_symbol(owner_record, base.split(".")[-1])
+                if isinstance(resolved, _ClassRecord):
+                    base_module = self._record_of_class(resolved)
+                    if base_module is not None:
+                        queue.append((base_module, resolved))
+        return None
+
+    def _record_of_class(self, klass: _ClassRecord) -> _ModuleRecord | None:
+        module = klass.qualname.rsplit(".", 1)[0]
+        return self.graph.modules.get(module)
+
+
+def _collect_calls(
+    graph: CallGraph, resolver: _Resolver, record: _ModuleRecord
+) -> None:
+    for qualname, info in list(graph.functions.items()):
+        if info.path != record.context.path:
+            continue
+        klass = record.classes.get(info.class_name) if info.class_name else None
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _resolve_call(resolver, record, klass, node)
+            graph._add_call(
+                CallSite(
+                    caller=qualname,
+                    callee=callee,
+                    text=dotted_name(node.func) or type(node.func).__name__,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                )
+            )
+
+
+def _to_function(
+    resolver: _Resolver,
+    resolved: str | _ClassRecord | _ModuleRecord | None,
+) -> str | None:
+    """Collapse a resolved symbol to a callable graph node, if any.
+    Calling a class means running its ``__init__``."""
+    if isinstance(resolved, str):
+        return resolved
+    if isinstance(resolved, _ClassRecord):
+        owner = resolver._record_of_class(resolved)
+        if owner is not None:
+            return resolver.resolve_method(owner, resolved, "__init__")
+    return None
+
+
+def _resolve_call(
+    resolver: _Resolver,
+    record: _ModuleRecord,
+    klass: _ClassRecord | None,
+    call: ast.Call,
+) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return _to_function(resolver, resolver.resolve_symbol(record, func.id))
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    receiver = func.value
+    # self.method() / cls.method() — enclosing class, then bases.
+    if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+        if klass is not None:
+            return resolver.resolve_method(record, klass, method)
+        return None
+    # mod.func() / Class.method() / pkg.mod.func() through aliases.
+    dotted = dotted_name(receiver)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved: str | _ClassRecord | _ModuleRecord | None
+    resolved = resolver.resolve_symbol(record, head)
+    for part in rest.split(".") if rest else []:
+        if isinstance(resolved, _ModuleRecord):
+            resolved = resolver.resolve_symbol(resolved, part)
+        else:
+            resolved = None
+            break
+    if isinstance(resolved, _ModuleRecord):
+        target = resolver.resolve_symbol(resolved, method)
+        return _to_function(resolver, target)
+    if isinstance(resolved, _ClassRecord):
+        owner = resolver._record_of_class(resolved)
+        if owner is not None:
+            return resolver.resolve_method(owner, resolved, method)
+    return None

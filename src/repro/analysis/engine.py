@@ -12,27 +12,54 @@ suppression applies to findings anchored on its line (or the next line
 for ``disable-next-line``). Unknown rule ids in suppressions are
 findings themselves (rule ``LNT000``) so typos cannot silently turn a
 check off.
+
+Each file is parsed exactly once: the resulting
+:class:`~repro.analysis.rules.ModuleContext` (which caches its node
+walk) is shared by every per-file rule *and* the project-wide call
+graph the interprocedural rules (DET101/DET102/TXN101) run on.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.rules import ALL_RULES, ModuleContext, Rule
+from repro.analysis.taint import ALL_PROJECT_RULES, ProjectRule, project_diagnostics
 
 _SUPPRESS_RE = re.compile(
     r"#\s*omega-lint:\s*(disable|disable-next-line)\s*=\s*"
     r"([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
 )
 
+#: Rule ids that may appear in suppression comments: every per-file
+#: rule, every project rule, and the engine's own LNT findings.
+KNOWN_RULE_IDS = frozenset(
+    {rule.id for rule in ALL_RULES}
+    | {rule.id for rule in ALL_PROJECT_RULES}
+    | {"LNT000", "LNT001"}
+)
 
-def _suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
+
+@dataclass
+class ParsedModule:
+    """One file's parse result: the shared context (None on a syntax
+    error), its suppression map, and any engine-level findings."""
+
+    path: str
+    context: ModuleContext | None
+    suppressed: dict[int, set[str]] = field(default_factory=dict)
+    problems: list[Diagnostic] = field(default_factory=list)
+
+
+def _suppressions(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], list[Diagnostic]]:
     """Map line -> suppressed rule ids; plus diagnostics for bad ids."""
-    known = {rule.id for rule in ALL_RULES}
     by_line: dict[int, set[str]] = {}
     problems: list[Diagnostic] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -41,11 +68,11 @@ def _suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
             continue
         target = lineno + 1 if match.group(1) == "disable-next-line" else lineno
         rules = {rule.strip() for rule in match.group(2).split(",") if rule.strip()}
-        unknown = sorted(rules - known)
+        unknown = sorted(rules - KNOWN_RULE_IDS)
         if unknown:
             problems.append(
                 Diagnostic(
-                    path="",
+                    path=path,
                     line=lineno,
                     col=match.start() + 1,
                     rule="LNT000",
@@ -55,22 +82,17 @@ def _suppressions(source: str) -> tuple[dict[int, set[str]], list[Diagnostic]]:
                     ),
                 )
             )
-        by_line.setdefault(target, set()).update(rules & known)
+        by_line.setdefault(target, set()).update(rules & KNOWN_RULE_IDS)
     return by_line, problems
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    config: LintConfig | None = None,
-    rules: tuple[Rule, ...] = ALL_RULES,
-) -> list[Diagnostic]:
-    """Lint one module's source text; returns sorted diagnostics."""
-    config = config if config is not None else LintConfig()
+def parse_module(source: str, path: str, config: LintConfig) -> ParsedModule:
+    """Parse one module into the context shared by all passes."""
+    suppressed, problems = _suppressions(source, path)
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [
+        problems.append(
             Diagnostic(
                 path=path,
                 line=exc.lineno or 1,
@@ -79,28 +101,57 @@ def lint_source(
                 severity="error",
                 message=f"syntax error: {exc.msg}",
             )
-        ]
-    module = ModuleContext(path=path, tree=tree, config=config)
-    suppressed, problems = _suppressions(source)
-    findings = [
-        Diagnostic(
-            path=path,
-            line=problem.line,
-            col=problem.col,
-            rule=problem.rule,
-            severity=problem.severity,
-            message=problem.message,
         )
-        for problem in problems
-    ]
-    for rule in rules:
-        if not config.rule_enabled(rule.id):
+        return ParsedModule(path=path, context=None, suppressed=suppressed,
+                            problems=problems)
+    context = ModuleContext(path=path, tree=tree, config=config)
+    return ParsedModule(path=path, context=context, suppressed=suppressed,
+                        problems=problems)
+
+
+def _check_modules(
+    parsed: list[ParsedModule],
+    config: LintConfig,
+    rules: tuple[Rule, ...],
+    project_rules: tuple[ProjectRule, ...],
+) -> list[Diagnostic]:
+    """Run per-file rules and the project pass, apply suppressions."""
+    raw: list[Diagnostic] = []
+    for module in parsed:
+        raw.extend(module.problems)
+        if module.context is None:
             continue
-        for diag in rule.check(module):
-            if diag.rule in suppressed.get(diag.line, ()):
+        for rule in rules:
+            if not config.rule_enabled(rule.id):
                 continue
-            findings.append(diag)
+            raw.extend(rule.check(module.context))
+    contexts = [module.context for module in parsed if module.context is not None]
+    if project_rules:
+        raw.extend(project_diagnostics(contexts, config, rules=project_rules))
+    suppressed_by_path = {module.path: module.suppressed for module in parsed}
+    findings = [
+        diag
+        for diag in raw
+        if diag.rule not in suppressed_by_path.get(diag.path, {}).get(diag.line, ())
+    ]
     return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+    project_rules: tuple[ProjectRule, ...] = ALL_PROJECT_RULES,
+) -> list[Diagnostic]:
+    """Lint one module's source text; returns sorted diagnostics.
+
+    The interprocedural rules see only this module, so they report
+    intra-module call chains; whole-tree chains need ``lint_paths``.
+    """
+    config = config if config is not None else LintConfig()
+    parsed = parse_module(source, path, config)
+    return _check_modules([parsed], config, rules, project_rules)
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:
@@ -119,6 +170,7 @@ def lint_paths(
     paths: list[str | Path],
     config: LintConfig | None = None,
     rules: tuple[Rule, ...] = ALL_RULES,
+    project_rules: tuple[ProjectRule, ...] = ALL_PROJECT_RULES,
 ) -> list[Diagnostic]:
     """Lint every ``*.py`` under ``paths``; returns sorted diagnostics.
 
@@ -130,11 +182,11 @@ def lint_paths(
             raise FileNotFoundError(f"no such path: {entry}")
     if config is None:
         config = load_config()
-    findings: list[Diagnostic] = []
+    parsed: list[ParsedModule] = []
     for file in iter_python_files(paths):
         posix = file.as_posix()
         if config.excluded(posix):
             continue
         source = file.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, path=posix, config=config, rules=rules))
-    return sorted(findings)
+        parsed.append(parse_module(source, posix, config))
+    return _check_modules(parsed, config, rules, project_rules)

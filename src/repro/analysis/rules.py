@@ -44,7 +44,13 @@ from repro.analysis.diagnostics import Diagnostic
 # ----------------------------------------------------------------------
 @dataclass
 class ModuleContext:
-    """One parsed module plus everything rules need to inspect it."""
+    """One parsed module plus everything rules need to inspect it.
+
+    The tree is walked exactly once, at construction: ``nodes`` caches
+    the full pre-order node list so every rule — and the project-wide
+    call-graph builder — iterates the same walk instead of re-walking
+    (or worse, re-parsing) the module.
+    """
 
     path: str
     tree: ast.Module
@@ -52,12 +58,14 @@ class ModuleContext:
     #: local alias -> canonical module name, for ``import numpy as np``
     #: style imports of the modules the rules care about.
     module_aliases: dict[str, str] = field(default_factory=dict)
+    #: cached pre-order walk of ``tree`` (includes ``tree`` itself).
+    nodes: list[ast.AST] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
-        for node in ast.walk(self.tree):
+        self.nodes = list(ast.walk(self.tree))
+        for node in self.nodes:
             for child in ast.iter_child_nodes(node):
                 child._omega_parent = node  # type: ignore[attr-defined]
-        for node in ast.walk(self.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name in ("numpy", "time", "datetime", "random"):
@@ -130,7 +138,7 @@ class RawRandomRule(Rule):
         if match_path(module.path, module.config.rng_allow):
             return
         numpy_aliases = module.aliases_of("numpy")
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random" or alias.name.startswith("numpy.random"):
@@ -221,7 +229,7 @@ class WallClockRule(Rule):
         datetime_aliases = module.aliases_of("datetime")
         #: names bound by `from datetime import datetime/date`
         datetime_classes: set[str] = set()
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if isinstance(node, ast.ImportFrom):
                 if node.module == "time":
                     for alias in node.names:
@@ -236,7 +244,7 @@ class WallClockRule(Rule):
                     for alias in node.names:
                         if alias.name in ("datetime", "date"):
                             datetime_classes.add(alias.asname or alias.name)
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if not isinstance(node, ast.Attribute):
                 continue
             dotted = dotted_name(node)
@@ -288,8 +296,8 @@ class UnorderedIterationRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
         if not match_path(module.path, module.config.decision_paths):
             return
-        unordered_attrs = self._unordered_self_attrs(module.tree)
-        for scope in self._scopes(module.tree):
+        unordered_attrs = self._unordered_self_attrs(module)
+        for scope in self._scopes(module):
             local_unordered = self._unordered_locals(scope)
             for node in ast.walk(scope):
                 if self._owning_scope(node) is not scope:
@@ -309,10 +317,10 @@ class UnorderedIterationRule(Rule):
                         )
 
     # -- helpers -------------------------------------------------------
-    def _scopes(self, tree: ast.Module) -> list[ast.AST]:
-        return [tree] + [
+    def _scopes(self, module: ModuleContext) -> list[ast.AST]:
+        return [module.tree] + [
             node
-            for node in ast.walk(tree)
+            for node in module.nodes
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         ]
 
@@ -356,10 +364,10 @@ class UnorderedIterationRule(Rule):
                             names.discard(target.id)
         return names
 
-    def _unordered_self_attrs(self, tree: ast.Module) -> set[str]:
+    def _unordered_self_attrs(self, module: ModuleContext) -> set[str]:
         """``self.X`` attributes assigned set/dict values in ``__init__``."""
         attrs: set[str] = set()
-        for node in ast.walk(tree):
+        for node in module.nodes:
             if isinstance(node, ast.FunctionDef) and node.name == "__init__":
                 for sub in ast.walk(node):
                     if isinstance(sub, (ast.Assign, ast.AnnAssign)):
@@ -437,7 +445,7 @@ class CellStateWriteRule(Rule):
         if match_path(module.path, config.txn_allow):
             return
         fields_guarded = set(config.resource_fields)
-        for scope in self._scopes(module.tree):
+        for scope in self._scopes(module):
             aliases = self._field_aliases(scope, fields_guarded, config)
             for node in ast.walk(scope):
                 targets: list[ast.expr] = []
@@ -452,10 +460,10 @@ class CellStateWriteRule(Rule):
                     if diag is not None:
                         yield diag
 
-    def _scopes(self, tree: ast.Module) -> list[ast.AST]:
-        return [tree] + [
+    def _scopes(self, module: ModuleContext) -> list[ast.AST]:
+        return [module.tree] + [
             node
-            for node in ast.walk(tree)
+            for node in module.nodes
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         ]
 
@@ -551,7 +559,7 @@ class ResourceFloatEqualityRule(Rule):
     )
 
     def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if not isinstance(node, ast.Compare):
                 continue
             operands = [node.left, *node.comparators]
@@ -608,7 +616,7 @@ class MutableDefaultRule(Rule):
     _CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
     def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 continue
             defaults = list(node.args.defaults) + [
@@ -688,12 +696,12 @@ class FaultInjectionSourceRule(Rule):
         random_aliases = module.aliases_of("random")
         numpy_aliases = module.aliases_of("numpy")
         datetime_classes: set[str] = set()
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if isinstance(node, ast.ImportFrom) and node.module == "datetime":
                 for alias in node.names:
                     if alias.name in ("datetime", "date"):
                         datetime_classes.add(alias.asname or alias.name)
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if isinstance(node, ast.Call):
                 func = node.func
                 if isinstance(func, ast.Name) and func.id == "RandomStreams":
@@ -795,7 +803,7 @@ class RecoveryExceptionSwallowRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
         if not match_path(module.path, module.config.recovery_paths):
             return
-        for node in ast.walk(module.tree):
+        for node in module.nodes:
             if not isinstance(node, ast.ExceptHandler):
                 continue
             caught = self._broad_name(node.type)

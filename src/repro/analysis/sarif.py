@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 output for omega-lint.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests to annotate pull requests. The emitter maps each
+:class:`~repro.analysis.diagnostics.Diagnostic` to one ``result`` with
+a physical location; related locations (the DET101/DET102/TXN101 call
+chains) become ``relatedLocations`` so the PR annotation shows the
+whole path from decision site to entropy/state-write source.
+
+Only the stable core of the schema is emitted — tool metadata with a
+rule index, results with locations — which validates against the 2.1.0
+schema and is all GitHub reads.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import RULES_BY_ID
+from repro.analysis.taint import PROJECT_RULES_BY_ID
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine-level findings that have no Rule object behind them.
+_ENGINE_RULES = {
+    "LNT000": "suppression comment names an unknown rule id",
+    "LNT001": "file does not parse",
+}
+
+
+def _rule_description(rule_id: str) -> str:
+    rule = RULES_BY_ID.get(rule_id) or PROJECT_RULES_BY_ID.get(rule_id)
+    if rule is not None:
+        return rule.description
+    return _ENGINE_RULES.get(rule_id, rule_id)
+
+
+def _location(path: str, line: int, col: int | None = None) -> dict:
+    region: dict = {"startLine": max(line, 1)}
+    if col is not None:
+        region["startColumn"] = max(col, 1)
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": region,
+        }
+    }
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """A complete single-run SARIF 2.1.0 log as a JSON string."""
+    rule_ids = sorted({diag.rule for diag in diagnostics})
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": _rule_description(rule_id)},
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for diag in diagnostics:
+        result: dict = {
+            "ruleId": diag.rule,
+            "ruleIndex": rule_index[diag.rule],
+            "level": diag.severity,
+            "message": {"text": diag.message},
+            "locations": [_location(diag.path, diag.line, diag.col)],
+        }
+        if diag.related:
+            result["relatedLocations"] = [
+                {
+                    **_location(loc.path, loc.line),
+                    "message": {"text": loc.message},
+                }
+                for loc in diag.related
+            ]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "omega-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

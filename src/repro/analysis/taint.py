@@ -1,0 +1,418 @@
+"""Interprocedural determinism/transaction taint analysis.
+
+The per-file rules catch a decision-path module that *itself* constructs
+``random.Random()``, reads the wall clock, or writes master cell-state
+fields. A one-line helper defeats all of them: the helper lives in a
+module the rule ignores, and the caller only sees an innocent function
+call. These rules close that hole by propagating taint over the
+project call graph (:mod:`repro.analysis.callgraph`):
+
+======  ===============================================================
+DET101  a decision-path function reaches raw RNG construction through
+        one or more calls (chain printed in the diagnostic).
+DET102  a decision-path function reaches a wall-clock read through one
+        or more calls.
+TXN101  a decision-path function reaches a direct cell-state resource
+        write through one or more calls, bypassing the commit path.
+======  ===============================================================
+
+Taint starts at the same syntactic sources the per-file rules flag and
+flows from callee to caller. Functions *defined in* the corresponding
+allowlist modules (``rng-allow`` for DET101, ``clock-allow`` for
+DET102, ``txn-allow`` for TXN101) absorb taint: calling
+``RandomStreams.fork`` or ``transaction.commit`` is the sanctioned API,
+not a leak. A finding anchors on the call site inside the decision-path
+function and carries the full chain down to the source as related
+locations, so the diagnostic reads as a path, not a verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.config import LintConfig, match_path
+from repro.analysis.diagnostics import Diagnostic, RelatedLocation
+from repro.analysis.rules import (
+    ModuleContext,
+    Rule,
+    WallClockRule,
+    dotted_name,
+)
+
+KIND_RNG = "rng"
+KIND_CLOCK = "clock"
+KIND_CELLWRITE = "cellwrite"
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """The syntactic origin of a taint: what, where."""
+
+    kind: str
+    detail: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A function's taint for one kind: the source plus the chain of
+    functions (tainted function first, source-containing function last)
+    the taint flowed through."""
+
+    source: TaintSource
+    #: qualnames from this function down to the one holding the source.
+    chain: tuple[str, ...]
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole project, not one module.
+
+    Subclasses bind a taint ``kind`` and the config allowlist that
+    absorbs it. ``check`` (the per-module entry point) is intentionally
+    empty — the engine calls :func:`project_diagnostics` with every
+    parsed module instead.
+    """
+
+    kind: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def allow(self, config: LintConfig) -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+class InterproceduralRandomRule(ProjectRule):
+    id = "DET101"
+    kind = KIND_RNG
+    description = (
+        "decision-path function reaches raw RNG construction through "
+        "calls (helper-wrapped entropy breaks named-stream reproducibility)"
+    )
+
+    def allow(self, config: LintConfig) -> tuple[str, ...]:
+        return config.rng_allow
+
+
+class InterproceduralClockRule(ProjectRule):
+    id = "DET102"
+    kind = KIND_CLOCK
+    description = (
+        "decision-path function reaches a wall-clock read through calls "
+        "(real time leaks into simulated results via a helper)"
+    )
+
+    def allow(self, config: LintConfig) -> tuple[str, ...]:
+        return config.clock_allow
+
+
+class InterproceduralCellWriteRule(ProjectRule):
+    id = "TXN101"
+    kind = KIND_CELLWRITE
+    description = (
+        "decision-path function reaches a direct cell-state write "
+        "through calls, bypassing the transaction commit path"
+    )
+
+    def allow(self, config: LintConfig) -> tuple[str, ...]:
+        return config.txn_allow
+
+
+#: Every shipped interprocedural rule, in catalogue order.
+ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
+    InterproceduralRandomRule(),
+    InterproceduralClockRule(),
+    InterproceduralCellWriteRule(),
+)
+
+PROJECT_RULES_BY_ID: dict[str, ProjectRule] = {
+    rule.id: rule for rule in ALL_PROJECT_RULES
+}
+
+
+# ----------------------------------------------------------------------
+# Direct (intraprocedural) taint sources
+# ----------------------------------------------------------------------
+_TIME_FNS = WallClockRule._TIME_FNS
+_DATETIME_FNS = WallClockRule._DATETIME_FNS
+_RNG_TYPE_NAMES = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+
+def _function_sources(
+    context: ModuleContext, info: FunctionInfo, config: LintConfig
+) -> Iterator[TaintSource]:
+    """Syntactic taint sources inside one function body."""
+    random_aliases = context.aliases_of("random")
+    numpy_aliases = context.aliases_of("numpy")
+    time_aliases = context.aliases_of("time")
+    datetime_aliases = context.aliases_of("datetime")
+    from_imports = _from_import_bindings(context)
+    guarded = set(config.resource_fields)
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            head = parts[0]
+            if head in random_aliases and len(parts) == 2:
+                yield TaintSource(
+                    KIND_RNG, f"uses {dotted}", context.path, node.lineno
+                )
+            elif head in numpy_aliases and len(parts) >= 3 and parts[1] == "random":
+                if parts[2] not in _RNG_TYPE_NAMES:
+                    yield TaintSource(
+                        KIND_RNG, f"uses {dotted}", context.path, node.lineno
+                    )
+            elif (
+                head in time_aliases
+                and len(parts) == 2
+                and parts[1] in _TIME_FNS
+            ):
+                yield TaintSource(
+                    KIND_CLOCK, f"reads {dotted}", context.path, node.lineno
+                )
+            elif node.attr in _DATETIME_FNS:
+                base = parts[:-1]
+                if base and (
+                    (
+                        base[0] in datetime_aliases
+                        and base[1:] in (["datetime"], ["date"])
+                    )
+                    or (
+                        len(base) == 1
+                        and from_imports.get(base[0]) in ("datetime.datetime", "datetime.date")
+                    )
+                ):
+                    yield TaintSource(
+                        KIND_CLOCK, f"reads {dotted}", context.path, node.lineno
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            target = from_imports.get(node.func.id)
+            if target is not None:
+                if target.startswith("random.") or target.startswith("numpy.random."):
+                    tail = target.split(".")[-1]
+                    if tail not in _RNG_TYPE_NAMES:
+                        yield TaintSource(
+                            KIND_RNG,
+                            f"constructs {target}",
+                            context.path,
+                            node.lineno,
+                        )
+                elif target.startswith("time.") and target.split(".")[-1] in _TIME_FNS:
+                    yield TaintSource(
+                        KIND_CLOCK, f"reads {target}", context.path, node.lineno
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target_node in targets:
+                write = _guarded_write(target_node, guarded, config)
+                if write is not None and not _self_in_init(info, write[0]):
+                    yield TaintSource(
+                        KIND_CELLWRITE,
+                        f"writes {write[0]}.{write[1]}",
+                        context.path,
+                        node.lineno,
+                    )
+
+
+def _from_import_bindings(context: ModuleContext) -> dict[str, str]:
+    """Names bound by ``from module import name`` for the modules the
+    sources care about, as ``name -> module.name``."""
+    bindings: dict[str, str] = {}
+    for node in context.nodes:
+        if not isinstance(node, ast.ImportFrom) or node.module is None:
+            continue
+        if node.module not in ("random", "time", "datetime") and not (
+            node.module.startswith("numpy.random") or node.module == "numpy"
+        ):
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bindings[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return bindings
+
+
+def _guarded_write(
+    target: ast.expr, guarded: set[str], config: LintConfig
+) -> tuple[str, str] | None:
+    """(receiver, field) for a write to a guarded resource field on a
+    non-scratch receiver, else None. Mirrors TXN001's heuristics."""
+    attr = target
+    if isinstance(attr, ast.Subscript):
+        attr = attr.value
+    if not (isinstance(attr, ast.Attribute) and attr.attr in guarded):
+        return None
+    receiver = dotted_name(attr.value)
+    if receiver is None:
+        return None
+    lowered = receiver.lower()
+    if any(token in lowered for token in config.snapshot_names):
+        return None
+    return receiver, attr.attr
+
+
+def _self_in_init(info: FunctionInfo, receiver: str) -> bool:
+    return receiver == "self" and info.name == "__init__"
+
+
+# ----------------------------------------------------------------------
+# Propagation
+# ----------------------------------------------------------------------
+def propagate(
+    graph: CallGraph,
+    contexts: Sequence[ModuleContext],
+    config: LintConfig,
+    rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+) -> dict[str, dict[str, Taint]]:
+    """Taint per function qualname, per kind, with shortest chains.
+
+    BFS from the source-containing functions over reverse call edges;
+    functions defined in a kind's allowlist modules absorb that kind.
+    """
+    allow_by_kind = {rule.kind: rule.allow(config) for rule in rules}
+    context_by_path = {context.path: context for context in contexts}
+    taints: dict[str, dict[str, Taint]] = {}
+    queue: list[str] = []
+    for qualname, info in graph.functions.items():
+        context = context_by_path.get(info.path)
+        if context is None:
+            continue
+        for source in _function_sources(context, info, config):
+            if source.kind not in allow_by_kind:
+                continue
+            if match_path(info.path, allow_by_kind[source.kind]):
+                continue
+            per_fn = taints.setdefault(qualname, {})
+            if source.kind not in per_fn:
+                per_fn[source.kind] = Taint(source=source, chain=(qualname,))
+                queue.append(qualname)
+    # Breadth-first over reverse edges: shortest chains win.
+    head = 0
+    while head < len(queue):
+        callee = queue[head]
+        head += 1
+        for kind, taint in list(taints.get(callee, {}).items()):
+            for site in graph.callers(callee):
+                caller_info = graph.functions.get(site.caller)
+                if caller_info is None:
+                    continue
+                if match_path(caller_info.path, allow_by_kind[kind]):
+                    continue
+                per_fn = taints.setdefault(site.caller, {})
+                if kind in per_fn:
+                    continue
+                per_fn[kind] = Taint(
+                    source=taint.source, chain=(site.caller,) + taint.chain
+                )
+                queue.append(site.caller)
+    return taints
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+def project_diagnostics(
+    contexts: Sequence[ModuleContext],
+    config: LintConfig,
+    rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+    graph: CallGraph | None = None,
+) -> list[Diagnostic]:
+    """Run the interprocedural rules over already-parsed modules."""
+    active = [rule for rule in rules if config.rule_enabled(rule.id)]
+    if not active or not contexts:
+        return []
+    if graph is None:
+        graph = build_call_graph(contexts)
+    taints = propagate(graph, contexts, config, rules=active)
+    findings: list[Diagnostic] = []
+    for qualname, info in graph.functions.items():
+        if not match_path(info.path, config.decision_paths):
+            continue
+        reported: set[tuple[int, str]] = set()
+        for site in graph.callees(qualname):
+            if site.callee is None:
+                continue
+            callee_taints = taints.get(site.callee)
+            if not callee_taints:
+                continue
+            for rule in active:
+                taint = callee_taints.get(rule.kind)
+                if taint is None:
+                    continue
+                if match_path(info.path, rule.allow(config)):
+                    continue
+                key = (site.line, rule.id)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    _chain_diagnostic(rule, graph, info, site.line, site.col, taint)
+                )
+    return findings
+
+
+def _chain_diagnostic(
+    rule: ProjectRule,
+    graph: CallGraph,
+    caller: FunctionInfo,
+    line: int,
+    col: int,
+    taint: Taint,
+) -> Diagnostic:
+    names = [caller.display] + [
+        graph.functions[qual].display
+        for qual in taint.chain
+        if qual in graph.functions
+    ]
+    chain_text = " -> ".join(names)
+    verb = {
+        KIND_RNG: "constructs a raw RNG",
+        KIND_CLOCK: "reads the wall clock",
+        KIND_CELLWRITE: "writes master cell state",
+    }[rule.kind]
+    related = [
+        RelatedLocation(
+            path=caller.path,
+            line=line,
+            message=f"call chain starts here in {caller.display}",
+        )
+    ]
+    for qual in taint.chain:
+        step = graph.functions.get(qual)
+        if step is None:
+            continue
+        related.append(
+            RelatedLocation(
+                path=step.path,
+                line=step.line,
+                message=f"via {step.display}",
+            )
+        )
+    related.append(
+        RelatedLocation(
+            path=taint.source.path,
+            line=taint.source.line,
+            message=f"source: {taint.source.detail}",
+        )
+    )
+    return Diagnostic(
+        path=caller.path,
+        line=line,
+        col=col,
+        rule=rule.id,
+        severity=rule.severity,
+        message=(
+            f"{caller.display} {verb} via the call chain "
+            f"{chain_text} ({taint.source.detail} at "
+            f"{taint.source.path}:{taint.source.line})"
+        ),
+        related=tuple(related),
+    )

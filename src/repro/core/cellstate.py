@@ -19,6 +19,7 @@ from itertools import islice
 
 import numpy as np
 
+from repro.analysis import sanitizer as _san
 from repro.cluster import Cell
 
 #: Tolerance for floating-point resource accounting. A machine is
@@ -89,6 +90,8 @@ class CellSnapshot:
         :meth:`resync` restore those machines from the master copy even
         when the master itself did not touch them.
         """
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_snapshot_mutation(self)
         self._local_dirty.add(int(machine))
 
     def resync(self, state: "CellState", time: float | None = None) -> "CellSnapshot":
@@ -101,6 +104,8 @@ class CellSnapshot:
         element-wise identical to a fresh :meth:`CellState.snapshot`
         (property-tested in ``tests/core/test_resync.py``).
         """
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_snapshot_mutation(self)
         behind = state.version - self.version
         if behind < 0:
             raise ValueError(
@@ -245,6 +250,8 @@ class CellState:
                 f"machine {machine} (free: {self.free_cpu[machine]} cpu, "
                 f"{self.free_mem[machine]} mem)"
             )
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_master_write(self, "claim", machine, cpu, mem, count)
         self.free_cpu[machine] -= total_cpu
         self.free_mem[machine] -= total_mem
         # Clamp float dust so "exactly full" machines read as full, not
@@ -275,6 +282,8 @@ class CellState:
                 f"release of {count} x ({cpu} cpu, {mem} mem) on machine "
                 f"{machine} exceeds its capacity"
             )
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_master_write(self, "release", machine, cpu, mem, count)
         # Subtract only the delta actually applied to the free arrays:
         # when the clamp below trims float dust off ``new_free_*``, the
         # used totals must shrink by the trimmed amount too, or they

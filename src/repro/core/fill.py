@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import EPSILON, CellState
 from repro.sim import Simulator
 from repro.workload.generator import StandingTask
@@ -37,22 +38,25 @@ def populate(
     placed = 0
     free_cpu = state.free_cpu
     free_mem = state.free_mem
-    for task in tasks:
-        found = None
-        for step in range(state.num_machines):
-            machine = order[(cursor + step) % state.num_machines]
-            if (
-                free_cpu[machine] + EPSILON >= task.cpu
-                and free_mem[machine] + EPSILON >= task.mem
-            ):
-                found = int(machine)
-                cursor = (cursor + step) % state.num_machines
+    san = _san.ACTIVE
+    release = state.release if san is None else san.scoped(state.release, "fill-end")
+    with _san.master_scope("fill"):
+        for task in tasks:
+            found = None
+            for step in range(state.num_machines):
+                machine = order[(cursor + step) % state.num_machines]
+                if (
+                    free_cpu[machine] + EPSILON >= task.cpu
+                    and free_mem[machine] + EPSILON >= task.mem
+                ):
+                    found = int(machine)
+                    cursor = (cursor + step) % state.num_machines
+                    break
+            if found is None:
+                # Cell cannot hold the rest of the fill; stop rather than spin.
                 break
-        if found is None:
-            # Cell cannot hold the rest of the fill; stop rather than spin.
-            break
-        state.claim(found, task.cpu, task.mem, 1)
-        placed += 1
-        if sim is not None and (horizon is None or task.duration <= horizon):
-            sim.at(task.duration, state.release, found, task.cpu, task.mem, 1)
+            state.claim(found, task.cpu, task.mem, 1)
+            placed += 1
+            if sim is not None and (horizon is None or task.duration <= horizon):
+                sim.at(task.duration, release, found, task.cpu, task.mem, 1)
     return placed

@@ -30,6 +30,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import EPSILON, CellState
 from repro.core.transaction import Claim
 from repro.sim import Event, Simulator
@@ -100,7 +101,8 @@ class AllocationLedger:
         ledger should only take over lifetime bookkeeping.
         """
         if not already_claimed:
-            self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+            with _san.master_scope("ledger-register"):
+                self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
         record = AllocationRecord(
             machine=claim.machine,
             cpu=claim.cpu,
@@ -120,7 +122,8 @@ class AllocationLedger:
         if record.record_id not in machine_records:  # pragma: no cover - guard
             return
         del machine_records[record.record_id]
-        self.state.release(record.machine, record.cpu, record.mem, record.count)
+        with _san.master_scope("task-end"):
+            self.state.release(record.machine, record.cpu, record.mem, record.count)
 
     # ------------------------------------------------------------------
     # Queries
@@ -218,7 +221,8 @@ class AllocationLedger:
 
     def _evict_tasks(self, record: AllocationRecord, count: int) -> None:
         machine_records = self._by_machine[record.machine]
-        self.state.release(record.machine, record.cpu, record.mem, count)
+        with _san.master_scope("preemption-evict"):
+            self.state.release(record.machine, record.cpu, record.mem, count)
         self.preempted_tasks += count
         if count >= record.count:
             del machine_records[record.record_id]
@@ -296,7 +300,8 @@ def commit_with_preemption(
         need_mem = max(0.0, claim.mem * ok - free_mem)
         preempted += ledger.evict(claim.machine, need_cpu, need_mem, precedence)
         take = claim if ok == claim.count else Claim(claim.machine, claim.cpu, claim.mem, ok)
-        state.claim(take.machine, take.cpu, take.mem, take.count)
+        with _san.master_scope("preemption-commit"):
+            state.claim(take.machine, take.cpu, take.mem, take.count)
         accepted.append(take)
         if ok < claim.count:
             rejected.append(

@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import CellSnapshot, CellState
 from repro.core.placement import randomized_first_fit
 from repro.core.transaction import Claim, CommitMode, ConflictMode, commit
@@ -133,6 +134,8 @@ class OmegaScheduler(QueueScheduler):
         else:
             self._view.resync(self.state, self.sim.now)
         self._snapshot = self._view
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_sync(self.name, self._view, self.state)
         rec = _obs.RECORDER
         if rec.enabled:
             # "The time from state synchronization to the commit attempt
@@ -178,6 +181,8 @@ class OmegaScheduler(QueueScheduler):
         self._snapshot = None
         if snapshot is None:  # pragma: no cover - loop always snapshots first
             raise RuntimeError("attempt() without begin_attempt()")
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.on_snapshot_use(self.name, snapshot, self.state)
 
         if self.conflict_avoidance_cooldown > 0:
             self._mask_hot_machines(snapshot)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import EPSILON, CellSnapshot, CellState
 from repro.obs import recorder as _obs
 
@@ -117,6 +118,10 @@ def commit(
     if not claims:
         return CommitResult(accepted=(), rejected=())
 
+    san = _san.ACTIVE
+    if san is not None:
+        san.begin_commit(state, snapshot, claims)
+
     rec = _obs.RECORDER
     tracing = rec.enabled
     if tracing:
@@ -181,8 +186,14 @@ def commit(
             )
         return CommitResult(accepted=(), rejected=tuple(claims))
 
-    for claim in accepted:
-        state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+    if san is None:
+        for claim in accepted:
+            state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+    else:
+        with san.scope("commit"):
+            for claim in accepted:
+                state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+        san.end_commit(state, snapshot, accepted)
     result = CommitResult(accepted=tuple(accepted), rejected=tuple(rejected))
     if tracing:
         rec.event(

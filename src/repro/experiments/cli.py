@@ -51,6 +51,7 @@ from typing import Callable
 
 from repro import obs
 from repro.analysis import cli as lint
+from repro.analysis import sanitizer as _san
 from repro.obs import timeline as obs_timeline
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import mapreduce as mapreduce_experiments
@@ -406,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
             "depth, busy fraction, conflict rate) every this many "
             "simulated seconds; records land in the --trace file",
         )
+        sub.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run under omega-san, the transaction-isolation "
+            "sanitizer: every run fails fast (exit 1) on a "
+            "write-outside-commit, stale-snapshot-read, "
+            "foreign-snapshot-write, or non-serializable commit "
+            "(see docs/STATIC_ANALYSIS.md)",
+        )
         if name in JOBS_COMMANDS:
             sub.add_argument(
                 "--checkpoint",
@@ -751,6 +761,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"omega-sim: {exc}", file=sys.stderr)
         return 2
 
+    sanitizing = bool(getattr(args, "sanitize", False))
+    saved_san_env = None
+    if sanitizing:
+        # The env var rides into --jobs N worker processes, which build
+        # their own sanitizer from it (see LightweightSimulation.build).
+        saved_san_env = os.environ.get("OMEGA_SAN")
+        os.environ["OMEGA_SAN"] = "1"
+        _san.install()
+
     recorder = None
     if getattr(args, "trace", None):
         try:
@@ -771,9 +790,29 @@ def main(argv: list[str] | None = None) -> int:
     except PointFailure as exc:
         print(f"omega-sim: {exc}", file=sys.stderr)
         return 1
+    except _san.IsolationViolation as exc:
+        print(f"omega-sim: {exc}", file=sys.stderr)
+        if exc.stack:
+            print(exc.stack, file=sys.stderr, end="")
+        return 1
     finally:
         if timeline_interval is not None:
             obs_timeline.set_default_interval(None)
+        if sanitizing:
+            san = _san.ACTIVE
+            if san is not None and san.writes_checked:
+                print(
+                    f"omega-san: {san.writes_checked} writes, "
+                    f"{san.reads_checked} reads, "
+                    f"{san.commits_checked} commits checked, "
+                    f"{san.violations} violation(s)",
+                    file=sys.stderr,
+                )
+            _san.uninstall()
+            if saved_san_env is None:
+                os.environ.pop("OMEGA_SAN", None)
+            else:
+                os.environ["OMEGA_SAN"] = saved_san_env
         if recorder is not None:
             obs.reset_recorder()
             recorder.close()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import CellState
 from repro.core.fill import populate
 from repro.core.multi import SchedulerPool
@@ -176,6 +177,12 @@ class LightweightSimulation:
         if self._built:
             raise RuntimeError("simulation already built")
         self._built = True
+        if _san.ACTIVE is None and _san.env_enabled():
+            # Workers spawned by ``--jobs N`` inherit OMEGA_SAN=1 from the
+            # parent's ``--sanitize`` but not its installed sanitizer.
+            _san.install()
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.begin_run(now=lambda: self.sim.now)
         reset_job_ids()
         reset_offer_ids()
         builder = getattr(self, f"_build_{self.config.architecture.replace('-', '_')}")
@@ -504,6 +511,8 @@ class LightweightSimulation:
                 cluster=self.config.preset.name,
             )
         self.sim.run(until=self.config.horizon)
+        if _san.ACTIVE is not None:
+            _san.ACTIVE.final_check(self.states)
         stats = self.sim.stats()
         publish_sim_stats(stats)
         if rec.enabled:

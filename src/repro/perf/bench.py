@@ -1,7 +1,7 @@
 """Curated performance benchmarks and the regression gate behind
 ``omega-sim bench``.
 
-Five benchmarks cover the hot paths this repository optimises:
+Six benchmarks cover the hot paths this repository optimises:
 
 ``snapshot_resync``
     Incremental :meth:`repro.core.cellstate.CellSnapshot.resync` against
@@ -20,6 +20,13 @@ Five benchmarks cover the hot paths this repository optimises:
     :class:`~repro.obs.timeline.TimelineSampler`. The no-op recorder
     (the default in every untraced run) must retain at least
     :data:`NOOP_THROUGHPUT_FLOOR` of uninstrumented throughput.
+``sanitizer_overhead``
+    ``CellState.claim``/``release`` throughput with the omega-san hook
+    sites compared against a hook-free replica of the same arithmetic,
+    and against a fully active sanitizer. The off mode (the ``ACTIVE is
+    None`` guard every unsanitized run pays) must retain at least
+    :data:`SANITIZER_OFF_FLOOR` of hook-free throughput — enforced even
+    in smoke runs, since the guard's cost is size-independent.
 ``sweep_serial_parallel``
     A reduced Figure 5c sweep run serially and with ``--jobs 4``
     through :mod:`repro.perf.parallel`. The rows must be byte-identical
@@ -70,6 +77,11 @@ PARALLEL_MIN_CORES = 4
 #: uninstrumented event-loop throughput (i.e. tracing hooks may cost
 #: untraced runs at most ~20%).
 NOOP_THROUGHPUT_FLOOR = 0.8
+
+#: With the sanitizer uninstalled, claim/release must keep at least
+#: this fraction of hook-free throughput (i.e. the ``ACTIVE is None``
+#: guards may cost unsanitized runs at most ~10%).
+SANITIZER_OFF_FLOOR = 0.9
 
 #: Relative tolerance for baseline regression comparisons.
 DEFAULT_TOLERANCE = 0.25
@@ -323,6 +335,148 @@ def bench_tracing_overhead(
 
 
 # ----------------------------------------------------------------------
+# sanitizer_overhead
+# ----------------------------------------------------------------------
+def bench_sanitizer_overhead(
+    num_machines: int = 2_000, operations: int = 200_000, repeats: int = 3
+) -> dict:
+    """Cost of the omega-san hook sites in ``claim``/``release``.
+
+    Three modes run the same claim-then-release schedule:
+
+    * ``plain`` — a hook-free replica of the exact CellState arithmetic
+      (what the mutation paths cost before the sanitizer existed);
+    * ``off`` — the real :class:`CellState` with the sanitizer
+      uninstalled, paying only the ``ACTIVE is None`` guard;
+    * ``on`` — the same schedule under an installed sanitizer inside a
+      sanctioned scope (ownership, scope and shadow-replay checks live).
+
+    ``off_throughput_ratio`` (off/plain, best interleaved round) must
+    stay at least :data:`SANITIZER_OFF_FLOOR`; the guard's cost does not
+    depend on benchmark size, so the floor is enforced even in smoke
+    runs.
+    """
+    from repro.analysis import sanitizer as _san
+    from repro.core.cellstate import EPSILON, OvercommitError
+
+    streams = RandomStreams(2)
+    machines = [
+        int(m)
+        for m in streams.stream("bench.san.machines").integers(
+            0, num_machines, operations
+        )
+    ]
+
+    # The plain mode is *deliberately* a hook-free copy of the claim/
+    # release arithmetic applied to a real CellState — the thing TXN001
+    # exists to forbid everywhere else — so each write carries a
+    # suppression.
+    def plain_claim(state, machine: int, cpu: float, mem: float) -> None:
+        if (
+            state.free_cpu[machine] + EPSILON < cpu
+            or state.free_mem[machine] + EPSILON < mem
+        ):
+            raise OvercommitError(f"bench claim does not fit on {machine}")
+        state.free_cpu[machine] -= cpu  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        state.free_mem[machine] -= mem  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        if state.free_cpu[machine] < 0.0:
+            state.free_cpu[machine] = 0.0  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        if state.free_mem[machine] < 0.0:
+            state.free_mem[machine] = 0.0  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        state._used_cpu += cpu
+        state._used_mem += mem
+        state.seq[machine] += 1  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        state._touch(machine)
+
+    def plain_release(state, machine: int, cpu: float, mem: float) -> None:
+        new_free_cpu = state.free_cpu[machine] + cpu
+        new_free_mem = state.free_mem[machine] + mem
+        if (
+            new_free_cpu > state.cell.cpu_capacity[machine] + EPSILON
+            or new_free_mem > state.cell.mem_capacity[machine] + EPSILON
+        ):
+            raise OvercommitError(f"bench release exceeds capacity on {machine}")
+        old_free_cpu = float(state.free_cpu[machine])
+        old_free_mem = float(state.free_mem[machine])
+        state.free_cpu[machine] = min(  # omega-lint: disable=TXN001 -- hook-free baseline replica
+            new_free_cpu, state.cell.cpu_capacity[machine]
+        )
+        state.free_mem[machine] = min(  # omega-lint: disable=TXN001 -- hook-free baseline replica
+            new_free_mem, state.cell.mem_capacity[machine]
+        )
+        state._used_cpu -= float(state.free_cpu[machine]) - old_free_cpu
+        state._used_mem -= float(state.free_mem[machine]) - old_free_mem
+        state.seq[machine] += 1  # omega-lint: disable=TXN001 -- hook-free baseline replica
+        state._touch(machine)
+
+    def run(mode: str) -> float:
+        state = CellState(_bench_cell(num_machines))
+        previous = _san.ACTIVE
+        scope = None
+        try:
+            if mode == "on":
+                san = _san.install()
+                san.begin_run()
+                scope = san.scope("bench")
+                scope.__enter__()
+            else:
+                _san.uninstall()
+            start = time.perf_counter()
+            if mode == "plain":
+                for machine in machines:
+                    plain_claim(state, machine, 0.001, 0.001)
+                    plain_release(state, machine, 0.001, 0.001)
+            else:
+                for machine in machines:
+                    state.claim(machine, 0.001, 0.001)
+                    state.release(machine, 0.001, 0.001)
+            elapsed = time.perf_counter() - start
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+            _san.ACTIVE = previous
+        assert state.used_cpu < 1.0
+        return elapsed
+
+    # Interleave the modes round-robin (rather than all repeats of one
+    # mode back-to-back) so CPU-frequency and load drift hits every mode
+    # equally — the off/plain ratio is the enforced number and a few
+    # percent of block-ordering bias would swamp the real guard cost.
+    modes = ("plain", "off", "on")
+    for mode in modes:
+        run(mode)  # warm-up: first-touch allocation and code caches
+    timings = {mode: float("inf") for mode in modes}
+    round_ratios = []
+    for _ in range(repeats):
+        round_times = {mode: run(mode) for mode in modes}
+        for mode in modes:
+            timings[mode] = min(timings[mode], round_times[mode])
+        round_ratios.append(round_times["plain"] / round_times["off"])
+    rates = {
+        f"{mode}_ops_per_s": (
+            2 * operations / wall_s if wall_s > 0 else float("inf")
+        )
+        for mode, wall_s in timings.items()
+    }
+    return {
+        "num_machines": num_machines,
+        "operations": operations,
+        **{f"{mode}_s": wall_s for mode, wall_s in timings.items()},
+        **rates,
+        # Best paired round, not min-of-runs: scheduling noise can only
+        # make the off mode look *slower* than it is, so the fairest
+        # bound on the intrinsic guard cost is the round where the two
+        # adjacent runs saw the most equal conditions.
+        "off_throughput_ratio": max(round_ratios),
+        "on_overhead_x": (
+            rates["plain_ops_per_s"] / rates["on_ops_per_s"]
+            if rates["on_ops_per_s"] > 0
+            else float("inf")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # sweep_serial_parallel
 # ----------------------------------------------------------------------
 def bench_sweep_serial_parallel(
@@ -378,6 +532,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "tracing_overhead": bench_tracing_overhead(
                 events=20_000, repeats=1, timeline_every=100.0
             ),
+            "sanitizer_overhead": bench_sanitizer_overhead(
+                num_machines=500, operations=50_000, repeats=3
+            ),
             "sweep_serial_parallel": bench_sweep_serial_parallel(
                 jobs=jobs, horizon=300.0, scale=0.05, t_jobs=(0.1, 10.0),
                 clusters=("A",),
@@ -389,6 +546,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "placement_pack": bench_placement_pack(),
             "event_loop": bench_event_loop(),
             "tracing_overhead": bench_tracing_overhead(),
+            "sanitizer_overhead": bench_sanitizer_overhead(),
             "sweep_serial_parallel": bench_sweep_serial_parallel(jobs=jobs),
         }
     results = {
@@ -445,6 +603,20 @@ def evaluate_expectations(results: dict) -> list[dict]:
         }
     )
 
+    sanitizer = benchmarks["sanitizer_overhead"]
+    expectations.append(
+        {
+            "name": "sanitizer_off_throughput",
+            "value": sanitizer["off_throughput_ratio"],
+            "floor": SANITIZER_OFF_FLOOR,
+            "passed": sanitizer["off_throughput_ratio"] >= SANITIZER_OFF_FLOOR,
+            # The ACTIVE-is-None guard's relative cost is independent of
+            # benchmark size, so this floor holds in smoke runs too.
+            "enforced": True,
+            "reason": None,
+        }
+    )
+
     sweep = benchmarks["sweep_serial_parallel"]
     expectations.append(
         {
@@ -483,6 +655,7 @@ _THROUGHPUT_METRICS = {
     "placement_pack": ("placements_per_s",),
     "event_loop": ("events_per_s",),
     "tracing_overhead": ("noop_events_per_s", "active_events_per_s"),
+    "sanitizer_overhead": ("off_ops_per_s",),
     "sweep_serial_parallel": ("speedup",),
 }
 
@@ -565,6 +738,14 @@ def render_report(results: dict) -> str:
         f"({tracing['noop_throughput_ratio']:.2f}x), "
         f"active {tracing['active_events_per_s']:.0f}, "
         f"active+timeline {tracing['timeline_events_per_s']:.0f}"
+    )
+    sanitizer = results["benchmarks"]["sanitizer_overhead"]
+    lines.append(
+        f"sanitizer_overhead: plain {sanitizer['plain_ops_per_s']:.0f} ops/s, "
+        f"off {sanitizer['off_ops_per_s']:.0f} "
+        f"({sanitizer['off_throughput_ratio']:.2f}x), "
+        f"on {sanitizer['on_ops_per_s']:.0f} "
+        f"({sanitizer['on_overhead_x']:.2f}x slower)"
     )
     sweep = results["benchmarks"]["sweep_serial_parallel"]
     identical = "identical" if sweep["identical_rows"] else "DIFFERENT"

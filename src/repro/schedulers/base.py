@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from typing import TYPE_CHECKING
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import CellState
 from repro.core.transaction import Claim
 from repro.faults.retry import RetryAction, RetryPolicy
@@ -160,7 +161,8 @@ class QueueScheduler(abc.ABC):
                 queue_depth=len(self._queue),
                 conflict_retry=conflict_retry,
             )
-        self.begin_attempt(job)
+        with _san.acting_scope(self.name):
+            self.begin_attempt(job)
         drop = False
         if self.chaos is not None:
             # A commit latency spike keeps the scheduler busy past its
@@ -203,9 +205,11 @@ class QueueScheduler(abc.ABC):
                 job=job.job_id,
                 attempt=job.attempts + 1,
             ):
-                self.attempt(job)
+                with _san.acting_scope(self.name):
+                    self.attempt(job)
         else:
-            self.attempt(job)
+            with _san.acting_scope(self.name):
+                self.attempt(job)
         self._maybe_start()
 
     def _commit_dropped(self, job: Job) -> None:
@@ -390,5 +394,9 @@ class QueueScheduler(abc.ABC):
     def _start_tasks(self, state: CellState, job: Job, claims: tuple[Claim, ...] | list[Claim]) -> None:
         """Schedule the resource release for tasks that just started."""
         end_time = self.sim.now + job.duration
+        san = _san.ACTIVE
+        release = (
+            state.release if san is None else san.scoped(state.release, "task-end")
+        )
         for claim in claims:
-            self.sim.at(end_time, state.release, claim.machine, claim.cpu, claim.mem, claim.count)
+            self.sim.at(end_time, release, claim.machine, claim.cpu, claim.mem, claim.count)

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import CellState
 from repro.core.transaction import Claim
 from repro.obs import recorder as _obs
@@ -228,14 +229,16 @@ class MesosAllocator:
         construction.
         """
         totals = self._allocated[framework]
-        for claim in claims:
-            self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
-            totals[0] += claim.cpu * claim.count
-            totals[1] += claim.mem * claim.count
-            self.sim.after(duration, self._task_end, framework, claim)
+        with _san.master_scope("mesos-launch"):
+            for claim in claims:
+                self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+                totals[0] += claim.cpu * claim.count
+                totals[1] += claim.mem * claim.count
+                self.sim.after(duration, self._task_end, framework, claim)
 
     def _task_end(self, framework: "MesosFramework", claim: Claim) -> None:
-        self.state.release(claim.machine, claim.cpu, claim.mem, claim.count)
+        with _san.master_scope("task-end"):
+            self.state.release(claim.machine, claim.cpu, claim.mem, claim.count)
         totals = self._allocated[framework]
         totals[0] -= claim.cpu * claim.count
         totals[1] -= claim.mem * claim.count

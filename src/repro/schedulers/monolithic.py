@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import sanitizer as _san
 from repro.core.cellstate import CellState
 from repro.core.placement import randomized_first_fit
 from repro.metrics import MetricsCollector
@@ -110,8 +111,9 @@ class MonolithicScheduler(QueueScheduler):
             job.unplaced_tasks,
             self._rng,
         )
-        for claim in claims:
-            self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+        with _san.master_scope("monolithic-place"):
+            for claim in claims:
+                self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
         placed = sum(claim.count for claim in claims)
         job.unplaced_tasks -= placed
         rec = _obs.RECORDER

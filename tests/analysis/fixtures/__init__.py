@@ -1,0 +1,1 @@
+"""Static-analysis fixtures: never imported at runtime, only parsed."""

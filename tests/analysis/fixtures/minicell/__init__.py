@@ -1,0 +1,8 @@
+"""minicell: a miniature package with known cross-module call chains.
+
+The interprocedural taint tests lint this directory and assert the
+exact DET101/DET102/TXN101 chains: determinism sources (a raw RNG, a
+wall-clock read) and a cell-state write buried two helper layers below
+the decision-path entry point ``decide.plan``. These modules are never
+imported by the test suite — only parsed by omega-lint.
+"""

@@ -1,0 +1,14 @@
+"""Determinism sources at the bottom of the fixture call chains."""
+
+import random
+import time
+
+
+def _fresh_rng():
+    """A raw, unseeded-discipline RNG (DET101 source)."""
+    return random.Random(1234)
+
+
+def stamp():
+    """A wall-clock read (DET102 source)."""
+    return time.time()

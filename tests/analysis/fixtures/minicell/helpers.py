@@ -1,0 +1,15 @@
+"""The middle layer: helpers that wrap the sources one call deep."""
+
+from tests.analysis.fixtures.minicell import entropy, statewrite
+
+
+def make_rng():
+    return entropy._fresh_rng()
+
+
+def timestamp():
+    return entropy.stamp()
+
+
+def apply_update(state):
+    return statewrite.poke(state)

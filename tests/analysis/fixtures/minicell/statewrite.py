@@ -1,0 +1,7 @@
+"""A master cell-state mutation (TXN101 source)."""
+
+
+def poke(state):
+    """Writes a guarded resource field outside the commit path."""
+    state.free_cpu[0] = state.free_cpu[0] - 1.0
+    return state

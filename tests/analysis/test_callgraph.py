@@ -1,0 +1,184 @@
+"""Golden call-graph assertions over the minicell fixture package and
+synthetic modules exercising method/alias resolution."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.callgraph import build_call_graph, module_name
+from repro.analysis.config import LintConfig
+from repro.analysis.rules import ModuleContext
+
+import ast
+
+FIXTURES = Path(__file__).parent / "fixtures" / "minicell"
+
+
+def context(path: str, source: str) -> ModuleContext:
+    return ModuleContext(
+        path=path, tree=ast.parse(textwrap.dedent(source)), config=LintConfig()
+    )
+
+
+def fixture_contexts() -> list[ModuleContext]:
+    config = LintConfig()
+    return [
+        ModuleContext(
+            path=path.as_posix(),
+            tree=ast.parse(path.read_text(encoding="utf-8")),
+            config=config,
+        )
+        for path in sorted(FIXTURES.glob("*.py"))
+    ]
+
+
+class TestModuleName:
+    def test_plain_module(self):
+        assert module_name("src/repro/core/fill.py") == "src.repro.core.fill"
+
+    def test_package_init(self):
+        assert module_name("src/repro/core/__init__.py") == "src.repro.core"
+
+
+class TestFixtureGraph:
+    def test_all_fixture_functions_indexed(self):
+        graph = build_call_graph(fixture_contexts())
+        names = {info.display for info in graph.functions.values()}
+        assert {
+            "plan",
+            "make_rng",
+            "timestamp",
+            "apply_update",
+            "_fresh_rng",
+            "stamp",
+            "poke",
+        } <= names
+
+    def test_cross_module_edges_resolved(self):
+        graph = build_call_graph(fixture_contexts())
+        edges = {
+            (graph.functions[a].display, graph.functions[b].display)
+            for a, b in graph.edges()
+        }
+        assert {
+            ("plan", "make_rng"),
+            ("plan", "timestamp"),
+            ("plan", "apply_update"),
+            ("make_rng", "_fresh_rng"),
+            ("timestamp", "stamp"),
+            ("apply_update", "poke"),
+        } <= edges
+
+    def test_callers_is_reverse_of_callees(self):
+        graph = build_call_graph(fixture_contexts())
+        rng = next(
+            qual
+            for qual, info in graph.functions.items()
+            if info.display == "_fresh_rng"
+        )
+        callers = {
+            graph.functions[site.caller].display for site in graph.callers(rng)
+        }
+        assert callers == {"make_rng"}
+
+
+class TestResolution:
+    def test_self_method_resolution(self):
+        module = context(
+            "pkg/sched.py",
+            """
+            class Scheduler:
+                def helper(self):
+                    return 1
+
+                def run(self):
+                    return self.helper()
+            """,
+        )
+        graph = build_call_graph([module])
+        edges = {
+            (graph.functions[a].display, graph.functions[b].display)
+            for a, b in graph.edges()
+        }
+        assert ("Scheduler.run", "Scheduler.helper") in edges
+
+    def test_base_class_method_resolution(self):
+        module = context(
+            "pkg/sched.py",
+            """
+            class Base:
+                def helper(self):
+                    return 1
+
+            class Derived(Base):
+                def run(self):
+                    return self.helper()
+            """,
+        )
+        graph = build_call_graph([module])
+        edges = {
+            (graph.functions[a].display, graph.functions[b].display)
+            for a, b in graph.edges()
+        }
+        assert ("Derived.run", "Base.helper") in edges
+
+    def test_import_alias_resolution(self):
+        util = context(
+            "pkg/util.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        main = context(
+            "pkg/main.py",
+            """
+            from pkg import util as u
+
+            def run():
+                return u.helper()
+            """,
+        )
+        graph = build_call_graph([util, main])
+        edges = {
+            (graph.functions[a].display, graph.functions[b].display)
+            for a, b in graph.edges()
+        }
+        assert ("run", "helper") in edges
+
+    def test_constructor_resolves_to_init(self):
+        module = context(
+            "pkg/thing.py",
+            """
+            class Thing:
+                def __init__(self):
+                    self.x = 1
+
+            def build():
+                return Thing()
+            """,
+        )
+        graph = build_call_graph([module])
+        edges = {
+            (graph.functions[a].display, graph.functions[b].display)
+            for a, b in graph.edges()
+        }
+        assert ("build", "Thing.__init__") in edges
+
+    def test_unresolved_calls_keep_text(self):
+        module = context(
+            "pkg/main.py",
+            """
+            def run():
+                return unknown_external()
+            """,
+        )
+        graph = build_call_graph([module])
+        run = next(
+            qual
+            for qual, info in graph.functions.items()
+            if info.display == "run"
+        )
+        sites = graph.callees(run)
+        assert len(sites) == 1
+        assert sites[0].callee is None
+        assert sites[0].text == "unknown_external"

@@ -1,0 +1,106 @@
+"""Tests for ``omega-lint --changed``: git-diff scoping, ref errors,
+and the full-tree fallback outside a checkout."""
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+from repro.analysis import cli
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not installed"
+)
+
+
+def git(repo, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        env={
+            **os.environ,
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.com",
+            "HOME": str(repo),  # ignore user-level git config
+        },
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    """A git repo with one committed clean file, then a dirty finding."""
+    git(tmp_path, "init", "-q")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_text("y = 2\n")
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    # modify only bad.py after the commit
+    bad.write_text("import random\nr = random.Random()\n")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedPaths:
+    def test_only_modified_files_selected(self, repo):
+        selected = cli.changed_paths(["."], "HEAD")
+        assert [p.rsplit("/", 1)[-1] for p in selected] == ["bad.py"]
+
+    def test_scope_filter_excludes_outside_roots(self, repo):
+        sub = repo / "sub"
+        sub.mkdir()
+        assert cli.changed_paths(["sub"], "HEAD") == []
+
+    def test_deleted_files_skipped(self, repo):
+        (repo / "bad.py").unlink()
+        assert cli.changed_paths(["."], "HEAD") == []
+
+    def test_bad_ref_raises_value_error(self, repo):
+        with pytest.raises(ValueError):
+            cli.changed_paths(["."], "no-such-ref")
+
+
+class TestChangedCli:
+    def test_changed_lints_only_the_diff(self, repo, capsys):
+        code = cli.main(["--changed", "."])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bad.py" in out
+        assert "clean.py" not in out
+
+    def test_changed_clean_after_revert(self, repo, capsys):
+        (repo / "bad.py").write_text("y = 2\n")
+        code = cli.main(["--changed", "."])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_bad_base_ref_exits_two(self, repo, capsys):
+        code = cli.main(["--changed", "--base", "no-such-ref", "."])
+        assert code == 2
+        assert "bad --base ref" in capsys.readouterr().err
+
+    def test_outside_git_falls_back_with_warning(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        tree = tmp_path / "plain"
+        tree.mkdir()
+        (tree / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tree)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        # make rev-parse fail as it would outside any checkout
+        monkeypatch.setattr(
+            cli,
+            "_git_lines",
+            lambda args: (_ for _ in ()).throw(cli._GitUnavailable("no repo")),
+        )
+        code = cli.main(["--changed", "."])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "falls back to the full tree" in captured.err
+        assert "0 findings" in captured.out

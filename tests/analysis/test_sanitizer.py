@@ -1,0 +1,316 @@
+"""omega-san runtime tests: each of the four violation classes seeded
+deliberately, plus clean-path smoke, activation plumbing, and the
+exception's worker-process contract."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import sanitizer as _san
+from repro.analysis.sanitizer import (
+    IsolationViolation,
+    Sanitizer,
+    SanitizerConfig,
+)
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.transaction import Claim, commit
+
+
+@pytest.fixture
+def cell():
+    return Cell.homogeneous(4, cpu_per_machine=4.0, mem_per_machine=16.0)
+
+
+@pytest.fixture
+def state(cell):
+    return CellState(cell)
+
+
+@pytest.fixture
+def san():
+    """An installed sanitizer, uninstalled afterwards no matter what."""
+    san = _san.install()
+    san.begin_run()
+    yield san
+    _san.uninstall()
+
+
+class TestWriteOutsideCommit:
+    def test_bare_claim_fires(self, san, state):
+        with pytest.raises(IsolationViolation) as exc:
+            state.claim(0, cpu=1.0, mem=1.0)
+        assert exc.value.kind == "write-outside-commit"
+        assert "outside the commit path" in str(exc.value)
+        assert san.violations == 1
+
+    def test_bare_release_fires(self, san, state):
+        with san.scope("setup"):
+            state.claim(0, cpu=1.0, mem=1.0)
+        with pytest.raises(IsolationViolation) as exc:
+            state.release(0, cpu=1.0, mem=1.0)
+        assert exc.value.kind == "write-outside-commit"
+
+    def test_sanctioned_scope_allows_the_write(self, san, state):
+        with san.scope("task-end"):
+            state.claim(0, cpu=1.0, mem=1.0)
+            state.release(0, cpu=1.0, mem=1.0)
+        assert san.violations == 0
+        assert san.writes_checked == 2
+
+    def test_scoped_callback_is_sanctioned(self, san, state):
+        release = san.scoped(state.release, "task-end")
+        with san.scope("setup"):
+            state.claim(1, cpu=1.0, mem=1.0)
+        release(1, 1.0, 1.0, 1)
+        assert san.violations == 0
+
+    def test_violation_carries_stack_and_counts(self, san, state):
+        with pytest.raises(IsolationViolation) as exc:
+            state.claim(0, cpu=1.0, mem=1.0)
+        assert exc.value.stack is not None
+        assert "test_sanitizer" in exc.value.stack
+
+
+class TestStaleSnapshotRead:
+    def test_commit_from_stale_snapshot_fires(self, cell, state):
+        san = _san.install(SanitizerConfig(staleness_bound=2))
+        san.begin_run()
+        try:
+            snap = state.snapshot()
+            with san.scope("setup"):
+                for _ in range(3):
+                    state.claim(0, cpu=0.5, mem=0.5)
+            with pytest.raises(IsolationViolation) as exc:
+                commit(state, [Claim(1, 1.0, 1.0, 1)], snap)
+            assert exc.value.kind == "stale-snapshot-read"
+            assert "3 versions behind" in str(exc.value)
+        finally:
+            _san.uninstall()
+
+    def test_resync_clears_the_staleness(self, state):
+        san = _san.install(SanitizerConfig(staleness_bound=2))
+        san.begin_run()
+        try:
+            snap = state.snapshot()
+            san.on_sync("s0", snap, state)
+            with san.scope("setup"):
+                for _ in range(3):
+                    state.claim(0, cpu=0.5, mem=0.5)
+            snap.resync(state)
+            result = commit(state, [Claim(1, 1.0, 1.0, 1)], snap)
+            assert len(result.accepted) == 1
+            assert san.violations == 0
+        finally:
+            _san.uninstall()
+
+    def test_omega_staleness_is_legitimate_within_bound(self, san, state):
+        # default bound (10k): ordinary Omega conflict lag never fires
+        snap = state.snapshot()
+        with san.scope("setup"):
+            state.claim(0, cpu=1.0, mem=1.0)
+        result = commit(state, [Claim(0, 4.0, 1.0, 1)], snap)
+        assert result.rejected  # conflict, not violation
+        assert san.violations == 0
+
+
+class TestForeignSnapshotWrite:
+    def test_other_schedulers_snapshot_fires(self, san, state):
+        snap = state.snapshot()
+        san.on_sync("alice", snap, state)
+        with san.acting("bob"):
+            with pytest.raises(IsolationViolation) as exc:
+                snap.note_local_write(0)
+        assert exc.value.kind == "foreign-snapshot-write"
+        assert exc.value.actor == "bob"
+        assert "owned by alice" in str(exc.value)
+
+    def test_owner_may_mutate_own_snapshot(self, san, state):
+        snap = state.snapshot()
+        san.on_sync("alice", snap, state)
+        with san.acting("alice"):
+            snap.note_local_write(0)
+            snap.resync(state)
+        assert san.violations == 0
+
+    def test_unowned_snapshot_is_unchecked(self, san, state):
+        snap = state.snapshot()  # never registered via on_sync
+        with san.acting("bob"):
+            snap.note_local_write(0)
+        assert san.violations == 0
+
+
+class TestNonSerializableCommit:
+    def test_direct_array_write_detected_on_next_write(self, san, state):
+        with san.scope("setup"):
+            state.claim(0, cpu=1.0, mem=1.0)
+        state.free_cpu[0] -= 0.5  # bypasses claim/release entirely
+        with pytest.raises(IsolationViolation) as exc:
+            with san.scope("commit"):
+                state.claim(0, cpu=1.0, mem=1.0)
+        assert exc.value.kind == "non-serializable-commit"
+        assert "bypassed claim/release" in str(exc.value)
+
+    def test_final_check_catches_silent_divergence(self, san, state):
+        with san.scope("setup"):
+            state.claim(2, cpu=1.0, mem=1.0)
+        state.free_mem[3] -= 1.0  # untouched machine, no later write
+        with pytest.raises(IsolationViolation) as exc:
+            san.final_check([state])
+        assert exc.value.kind == "non-serializable-commit"
+        assert "end-of-run check" in str(exc.value)
+
+    def test_clean_run_passes_final_check(self, san, state):
+        snap = state.snapshot()
+        san.on_sync("s0", snap, state)
+        result = commit(state, [Claim(0, 1.0, 2.0, 2)], snap)
+        assert len(result.accepted) == 1
+        with san.scope("task-end"):
+            state.release(0, cpu=1.0, mem=2.0, count=2)
+        san.final_check([state])
+        assert san.violations == 0
+        assert san.commits_checked == 1
+        assert san.commit_log[0].tasks == 2
+
+
+class TestCleanSmoke:
+    def test_omega_style_loop_is_violation_free(self, san, state):
+        """Two schedulers, conflicts, releases: no false positives."""
+        snaps = {name: state.snapshot() for name in ("s0", "s1")}
+        for name, snap in snaps.items():
+            san.on_sync(name, snap, state)
+        for round_ in range(4):
+            for name, snap in snaps.items():
+                with san.acting(name):
+                    san.on_snapshot_use(name, snap, state)
+                    machine = round_ % state.num_machines
+                    result = commit(state, [Claim(machine, 1.0, 1.0, 1)], snap)
+                    snap.resync(state)
+                    if result.accepted:
+                        with san.scope("task-end"):
+                            state.release(machine, 1.0, 1.0, 1)
+                        snap.resync(state)
+        san.final_check([state])
+        assert san.violations == 0
+        assert san.reads_checked == 8
+        assert san.commits_checked == 8
+
+
+class TestActivation:
+    def test_install_uninstall_toggle_active(self):
+        assert _san.ACTIVE is None
+        san = _san.install()
+        assert _san.ACTIVE is san
+        _san.uninstall()
+        assert _san.ACTIVE is None
+
+    def test_off_mode_checks_nothing(self, state):
+        assert _san.ACTIVE is None
+        state.claim(0, cpu=1.0, mem=1.0)  # no scope, no violation
+        state.free_cpu[0] -= 0.5  # silent divergence, nobody watching
+        state.release(0, cpu=1.0, mem=1.0)
+
+    def test_master_scope_is_null_when_inactive(self):
+        assert _san.master_scope("x") is _san.NULL_SCOPE
+        assert _san.acting_scope("x") is _san.NULL_SCOPE
+
+    def test_env_enabled(self, monkeypatch):
+        monkeypatch.delenv("OMEGA_SAN", raising=False)
+        assert not _san.env_enabled()
+        monkeypatch.setenv("OMEGA_SAN", "")
+        assert not _san.env_enabled()
+        monkeypatch.setenv("OMEGA_SAN", "0")
+        assert not _san.env_enabled()
+        monkeypatch.setenv("OMEGA_SAN", "1")
+        assert _san.env_enabled()
+
+    def test_begin_run_resets_registries(self, san, state):
+        snap = state.snapshot()
+        san.on_sync("alice", snap, state)
+        with san.scope("setup"):
+            state.claim(0, cpu=1.0, mem=1.0)
+        san.begin_run()
+        assert san._owners == {}
+        assert san._shadows == {}
+        assert san.commit_log == []
+        # a recycled id() must not inherit alice's ownership
+        with san.acting("bob"):
+            snap.note_local_write(0)
+        assert san.violations == 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "architecture", ("monolithic-single", "mesos", "omega")
+    )
+    def test_omega_san_env_smoke_is_clean(self, monkeypatch, architecture):
+        """A real simulation under OMEGA_SAN=1: the harness installs the
+        sanitizer itself (the worker-process path) and the run completes
+        with zero violations."""
+        from repro.experiments.common import LightweightConfig, run_lightweight
+        from tests.conftest import tiny_preset
+
+        monkeypatch.setenv("OMEGA_SAN", "1")
+        try:
+            result = run_lightweight(
+                LightweightConfig(
+                    preset=tiny_preset(),
+                    architecture=architecture,
+                    horizon=600.0,
+                    seed=1,
+                )
+            )
+            san = _san.ACTIVE
+            assert san is not None, "harness should self-install under OMEGA_SAN"
+            assert san.violations == 0
+            assert san.writes_checked > 0
+            assert result.jobs_scheduled > 0
+        finally:
+            _san.uninstall()
+
+    def test_sanitized_run_matches_plain_run(self, monkeypatch):
+        """omega-san observes; it must not change scheduling outcomes."""
+        from repro.experiments.common import LightweightConfig, run_lightweight
+        from tests.conftest import tiny_preset
+
+        def run():
+            return run_lightweight(
+                LightweightConfig(
+                    preset=tiny_preset(),
+                    architecture="omega",
+                    horizon=600.0,
+                    seed=7,
+                )
+            )
+
+        plain = run()
+        monkeypatch.setenv("OMEGA_SAN", "1")
+        try:
+            sanitized = run()
+        finally:
+            _san.uninstall()
+        assert sanitized.jobs_scheduled == plain.jobs_scheduled
+        assert sanitized.events_processed == plain.events_processed
+        assert (
+            sanitized.final_cpu_utilization == plain.final_cpu_utilization
+        )
+
+
+class TestIsolationViolationPickling:
+    def test_round_trip_preserves_context(self):
+        original = IsolationViolation(
+            "omega-san: write-outside-commit: boom [actor=s0]",
+            kind="write-outside-commit",
+            actor="s0",
+            sim_time=12.5,
+            stack="fake stack",
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert str(clone) == str(original)
+        assert isinstance(clone, IsolationViolation)
+
+    def test_sanitizer_config_defaults(self):
+        config = SanitizerConfig()
+        assert config.staleness_bound == 10_000
+        san = Sanitizer(config)
+        assert san.config is config

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 emitter tests: structure, rule index, call chains as
+relatedLocations, and the CLI wiring."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import cli
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, RelatedLocation
+from repro.analysis.engine import lint_paths
+from repro.analysis.sarif import SARIF_VERSION, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures" / "minicell"
+
+
+def sample() -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            path="pkg/a.py",
+            line=3,
+            col=5,
+            rule="DET001",
+            severity="error",
+            message="unseeded RNG",
+        ),
+        Diagnostic(
+            path="pkg/b.py",
+            line=8,
+            col=1,
+            rule="DET101",
+            severity="error",
+            message="plan constructs a raw RNG via the call chain ...",
+            related=(
+                RelatedLocation(path="pkg/b.py", line=8, message="starts here"),
+                RelatedLocation(path="pkg/c.py", line=2, message="via helper"),
+            ),
+        ),
+    ]
+
+
+class TestRenderSarif:
+    def test_top_level_structure(self):
+        log = json.loads(render_sarif(sample()))
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["tool"]["driver"]["name"] == "omega-lint"
+
+    def test_rule_index_is_consistent(self):
+        log = json.loads(render_sarif(sample()))
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == ["DET001", "DET101"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_result_location(self):
+        log = json.loads(render_sarif(sample()))
+        result = log["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == "pkg/a.py"
+        assert region["region"] == {"startLine": 3, "startColumn": 5}
+        assert result["level"] == "error"
+
+    def test_chain_becomes_related_locations(self):
+        log = json.loads(render_sarif(sample()))
+        chained = log["runs"][0]["results"][1]
+        related = chained["relatedLocations"]
+        assert [loc["message"]["text"] for loc in related] == [
+            "starts here",
+            "via helper",
+        ]
+        assert (
+            related[1]["physicalLocation"]["artifactLocation"]["uri"]
+            == "pkg/c.py"
+        )
+
+    def test_empty_report_is_valid(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_fixture_chain_round_trips(self):
+        config = LintConfig(
+            decision_paths=("minicell/decide.py",),
+            rng_allow=(),
+            clock_allow=(),
+            txn_allow=(),
+        )
+        findings = lint_paths([FIXTURES], config=config, rules=())
+        log = json.loads(render_sarif(findings))
+        results = log["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"DET101", "DET102", "TXN101"}
+        for result in results:
+            # anchor + each chain hop + the source line
+            assert len(result["relatedLocations"]) >= 4
+
+
+class TestCliSarif:
+    def test_format_sarif_prints_valid_log(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        code = cli.main(["--format", "sarif", str(clean)])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert log["version"] == "2.1.0"
+
+    def test_findings_still_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nr = random.Random()\n")
+        code = cli.main(["--format", "sarif", str(bad)])
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["runs"][0]["results"]

@@ -1,0 +1,181 @@
+"""Interprocedural taint tests: the minicell fixture package provides
+known cross-module chains (plan -> helper -> source, three functions
+deep); the golden assertions here pin the rules, anchors and chains."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import lint_paths, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures" / "minicell"
+
+#: decide.py line numbers of the three tainted call sites.
+LINE_RNG, LINE_CLOCK, LINE_WRITE = 8, 9, 10
+
+
+def fixture_config(**overrides) -> LintConfig:
+    kwargs = dict(
+        decision_paths=("minicell/decide.py",),
+        rng_allow=(),
+        clock_allow=(),
+        txn_allow=(),
+    )
+    kwargs.update(overrides)
+    return LintConfig(**kwargs)
+
+
+def lint_fixture(**overrides):
+    """Project rules only — the per-file rules are tested elsewhere."""
+    return lint_paths([FIXTURES], config=fixture_config(**overrides), rules=())
+
+
+class TestFixtureChains:
+    def test_all_three_rules_fire(self):
+        findings = lint_fixture()
+        assert {diag.rule for diag in findings} == {"DET101", "DET102", "TXN101"}
+        assert len(findings) == 3
+
+    def test_findings_anchor_at_call_sites_in_decide(self):
+        by_rule = {diag.rule: diag for diag in lint_fixture()}
+        for diag in by_rule.values():
+            assert diag.path.endswith("minicell/decide.py")
+            assert diag.severity == "error"
+        assert by_rule["DET101"].line == LINE_RNG
+        assert by_rule["DET102"].line == LINE_CLOCK
+        assert by_rule["TXN101"].line == LINE_WRITE
+
+    def test_rng_chain_is_three_deep(self):
+        diag = next(d for d in lint_fixture() if d.rule == "DET101")
+        assert "constructs a raw RNG" in diag.message
+        assert "plan -> make_rng -> _fresh_rng" in diag.message
+        assert "entropy.py:9" in diag.message
+
+    def test_clock_chain_is_three_deep(self):
+        diag = next(d for d in lint_fixture() if d.rule == "DET102")
+        assert "reads the wall clock" in diag.message
+        assert "plan -> timestamp -> stamp" in diag.message
+
+    def test_write_chain_is_three_deep(self):
+        diag = next(d for d in lint_fixture() if d.rule == "TXN101")
+        assert "writes master cell state" in diag.message
+        assert "plan -> apply_update -> poke" in diag.message
+
+    def test_related_locations_walk_the_chain(self):
+        diag = next(d for d in lint_fixture() if d.rule == "DET101")
+        notes = [loc.message for loc in diag.related]
+        assert notes[0].startswith("call chain starts here")
+        assert "via make_rng" in notes
+        assert "via _fresh_rng" in notes
+        assert notes[-1].startswith("source:")
+        assert diag.related[-1].path.endswith("entropy.py")
+
+    def test_no_findings_outside_decision_paths(self):
+        findings = lint_fixture(decision_paths=("minicell/helpers.py",))
+        # helpers.py calls the sources directly, so chains still surface
+        # there — but nothing anchors in decide.py any more.
+        assert all(diag.path.endswith("helpers.py") for diag in findings)
+        findings = lint_fixture(decision_paths=())
+        assert findings == []
+
+
+class TestAllowlists:
+    def test_rng_allow_absorbs_the_rng_chain_only(self):
+        findings = lint_fixture(rng_allow=("minicell/entropy.py",))
+        rules = {diag.rule for diag in findings}
+        assert "DET101" not in rules
+        # entropy.py also holds the clock source; clock_allow is separate.
+        assert {"DET102", "TXN101"} <= rules
+
+    def test_txn_allow_absorbs_the_write_chain(self):
+        findings = lint_fixture(txn_allow=("minicell/statewrite.py",))
+        assert {diag.rule for diag in findings} == {"DET101", "DET102"}
+
+    def test_allow_on_intermediate_module_breaks_propagation(self):
+        findings = lint_fixture(
+            rng_allow=("minicell/helpers.py",),
+            clock_allow=("minicell/helpers.py",),
+            txn_allow=("minicell/helpers.py",),
+        )
+        assert findings == []
+
+    def test_config_disable_silences_a_project_rule(self):
+        findings = lint_fixture(disable=("TXN101",))
+        assert {diag.rule for diag in findings} == {"DET101", "DET102"}
+
+
+INTRA_MODULE = """
+    import random
+
+
+    def _fresh():
+        return random.Random()
+
+
+    def make():
+        return _fresh()
+
+
+    def plan():
+        return make(){suffix}
+"""
+
+
+def lint_intra(suffix: str = ""):
+    source = textwrap.dedent(INTRA_MODULE.format(suffix=suffix))
+    config = LintConfig(
+        decision_paths=("pkg/decide.py",), rng_allow=(), clock_allow=()
+    )
+    return lint_source(source, path="pkg/decide.py", config=config, rules=())
+
+
+class TestIntraModule:
+    def test_lint_source_reports_local_chains(self):
+        findings = lint_intra()
+        # Every function in a decision-path module reports: make calls
+        # the source directly, plan reaches it through make.
+        assert {diag.rule for diag in findings} == {"DET101"}
+        messages = [diag.message for diag in findings]
+        assert any("plan -> make -> _fresh" in msg for msg in messages)
+        assert any("make -> _fresh" in msg for msg in messages)
+
+    def test_suppression_comment_applies_to_chain_findings(self):
+        plain = lint_intra()
+        suppressed = lint_intra(
+            suffix="  # omega-lint: disable=DET101 -- test shim"
+        )
+        # the comment sits on plan's call line; make's own finding stays
+        assert len(suppressed) == len(plain) - 1
+        assert not any("plan ->" in diag.message for diag in suppressed)
+
+
+class TestParseOnce:
+    def test_each_file_parsed_exactly_once(self, monkeypatch):
+        """Per-file rules and the call-graph pass share one parse."""
+        import ast
+
+        import repro.analysis.engine as engine
+
+        calls = []
+        real_parse = ast.parse
+
+        def counting_parse(source, *args, **kwargs):
+            calls.append(source)
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(engine.ast, "parse", counting_parse)
+        lint_paths([FIXTURES], config=fixture_config())
+        assert len(calls) == len(list(FIXTURES.glob("*.py")))
+
+
+class TestInTreeClean:
+    def test_src_has_no_interprocedural_findings(self):
+        repo = Path(__file__).resolve().parents[2]
+        findings = lint_paths([repo / "src"], rules=())
+        assert findings == [], "\n".join(d.format_text() for d in findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

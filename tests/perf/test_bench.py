@@ -30,6 +30,7 @@ class TestRunBenchmarks:
             "event_loop",
             "tracing_overhead",
             "sweep_serial_parallel",
+            "sanitizer_overhead",
         }
         assert benchmarks["snapshot_resync"]["speedup"] > 0
         assert benchmarks["placement_pack"]["placements_per_s"] > 0
@@ -38,6 +39,11 @@ class TestRunBenchmarks:
         for mode in ("plain", "noop", "active", "timeline"):
             assert tracing[f"{mode}_events_per_s"] > 0
         assert tracing["noop_throughput_ratio"] > 0
+        sanitizer = benchmarks["sanitizer_overhead"]
+        for mode in ("plain", "off", "on"):
+            assert sanitizer[f"{mode}_ops_per_s"] > 0
+        assert sanitizer["off_throughput_ratio"] > 0
+        assert sanitizer["on_overhead_x"] > 0
 
     def test_json_serializable(self, smoke_results):
         assert json.loads(json.dumps(smoke_results))
@@ -48,6 +54,16 @@ class TestRunBenchmarks:
         before = obs.get_recorder()
         bench.bench_tracing_overhead(events=200, repeats=1, timeline_every=50.0)
         assert obs.get_recorder() is before
+
+    def test_sanitizer_bench_restores_active_state(self):
+        from repro.analysis import sanitizer as _san
+
+        assert _san.ACTIVE is None
+        result = bench.bench_sanitizer_overhead(
+            num_machines=50, operations=2_000, repeats=1
+        )
+        assert _san.ACTIVE is None
+        assert result["on_overhead_x"] > 0
 
     def test_serial_parallel_rows_identical(self, smoke_results):
         assert smoke_results["benchmarks"]["sweep_serial_parallel"][
@@ -61,11 +77,14 @@ class TestRunBenchmarks:
             "tracing_noop_throughput",
             "serial_parallel_identical",
             "parallel_speedup",
+            "sanitizer_off_throughput",
         }
         by_name = {e["name"]: e for e in smoke_results["expectations"]}
         # Row identity is enforced even in smoke mode; timing floors are
-        # recorded but unenforced at smoke sizes.
+        # recorded but unenforced at smoke sizes — except the sanitizer
+        # off-mode floor, whose guard cost is size-independent.
         assert by_name["serial_parallel_identical"]["enforced"]
+        assert by_name["sanitizer_off_throughput"]["enforced"]
         assert not by_name["resync_speedup"]["enforced"]
         assert not by_name["tracing_noop_throughput"]["enforced"]
         assert not by_name["parallel_speedup"]["enforced"]
