@@ -15,6 +15,7 @@ lock-free optimistic concurrency control (paper section 3.4).
   (Figures 9 and 13).
 """
 
+from repro.core.capacity_index import CapacityIndex
 from repro.core.cellstate import CellSnapshot, CellState, OvercommitError
 from repro.core.placement import randomized_first_fit
 from repro.core.preemption import (
@@ -34,6 +35,7 @@ from repro.core.transaction import (
 )
 
 __all__ = [
+    "CapacityIndex",
     "CellState",
     "CellSnapshot",
     "OvercommitError",

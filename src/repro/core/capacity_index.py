@@ -1,0 +1,142 @@
+"""Bucketed free-capacity index for sublinear ordered placement.
+
+Best/worst fit (:func:`repro.core.placement.best_fit` /
+:func:`~repro.core.placement.worst_fit`) order candidate machines by
+their total free capacity ``free_cpu + free_mem``. Sorting all machines
+per placement costs O(n log n) at every job — at the paper's cell sizes
+(~10,000 machines, Table 1) that dominates the scheduler's think time.
+
+:class:`CapacityIndex` keeps machines grouped into **power-of-two
+capacity buckets**: bucket ``b`` holds machines whose free-capacity key
+lies in ``[2^(b-1), 2^b)`` (bucket 0 holds keys below 1, the top bucket
+everything above). Claims and releases move at most one machine between
+buckets (O(1) amortised), and an ordered placement scans buckets
+ascending (best fit) or descending (worst fit), sorting only the
+members of the few buckets it actually touches.
+
+**Determinism contract**: scanning buckets in order and sorting each
+bucket's members by ``(key, machine)`` visits machines in *exactly* the
+global ``(key, machine)`` order, because bucket key ranges are disjoint
+and machines with equal keys share a bucket. The property tests in
+``tests/core/test_kernel_equivalence.py`` pin the index-backed scan
+against a plain ``np.lexsort`` over all candidates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Number of power-of-two buckets. Keys are non-negative free-capacity
+#: sums; 64 buckets cover every key a float64 cell can produce (keys
+#: >= 2^62 all land in the top bucket).
+NUM_BUCKETS = 64
+
+
+def bucket_of(key: float) -> int:
+    """The bucket index for one free-capacity key (scalar path).
+
+    ``math.frexp(key)[1]`` is the exponent ``e`` with
+    ``key in [2^(e-1), 2^e)``; clipping maps sub-1.0 keys (including 0)
+    to bucket 0 and astronomically large keys to the top bucket.
+    """
+    if key <= 0.0:
+        return 0
+    return min(max(math.frexp(key)[1], 0), NUM_BUCKETS - 1)
+
+
+def bucket_of_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`bucket_of` (used for the initial build)."""
+    exponents = np.frexp(keys)[1]
+    exponents[keys <= 0.0] = 0
+    return np.clip(exponents, 0, NUM_BUCKETS - 1).astype(np.int64)
+
+
+class CapacityIndex:
+    """Incrementally-maintained capacity buckets over free arrays.
+
+    The index never reads the free arrays after construction; the owner
+    (:class:`~repro.core.cellstate.CellState` or
+    :class:`~repro.core.cellstate.CellSnapshot`) pushes every key change
+    through :meth:`update_one` / :meth:`update_many`.
+    """
+
+    __slots__ = ("_bucket_of_machine", "_members", "_sorted_cache")
+
+    def __init__(self, free_cpu: np.ndarray, free_mem: np.ndarray) -> None:
+        keys = free_cpu + free_mem
+        buckets = bucket_of_array(keys)
+        self._bucket_of_machine = buckets
+        self._members: list[set[int]] = [set() for _ in range(NUM_BUCKETS)]
+        for machine, bucket in enumerate(buckets.tolist()):
+            self._members[bucket].add(machine)
+        #: Per-bucket cache of the members as a sorted machine-id array;
+        #: invalidated whenever the bucket's membership changes.
+        self._sorted_cache: list[np.ndarray | None] = [None] * NUM_BUCKETS
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def update_one(self, machine: int, key: float) -> None:
+        """Re-bucket ``machine`` after its free-capacity key changed."""
+        machine = int(machine)
+        new_bucket = bucket_of(key)
+        old_bucket = int(self._bucket_of_machine[machine])
+        if new_bucket == old_bucket:
+            return
+        self._members[old_bucket].discard(machine)
+        self._members[new_bucket].add(machine)
+        self._sorted_cache[old_bucket] = None
+        self._sorted_cache[new_bucket] = None
+        self._bucket_of_machine[machine] = new_bucket
+
+    def update_many(self, machines: np.ndarray, keys: np.ndarray) -> None:
+        """Re-bucket several machines (duplicates allowed; the last key
+        given for a machine wins, matching sequential updates)."""
+        for machine, key in zip(machines.tolist(), keys.tolist()):
+            self.update_one(machine, key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def members_sorted(self, bucket: int) -> np.ndarray:
+        """The bucket's machines as an ascending machine-id array."""
+        cached = self._sorted_cache[bucket]
+        if cached is None:
+            members = self._members[bucket]
+            cached = np.fromiter(sorted(members), dtype=np.intp, count=len(members))
+            self._sorted_cache[bucket] = cached
+        return cached
+
+    def scan(self, ascending: bool, start_bucket: int = 0):
+        """Yield each non-empty bucket's sorted members, bucket-ordered.
+
+        ``ascending=True`` scans low-capacity buckets first (best fit);
+        ``False`` scans high-capacity buckets first (worst fit). Buckets
+        below ``start_bucket`` can never hold a feasible machine and are
+        skipped in both directions.
+        """
+        if ascending:
+            buckets = range(start_bucket, NUM_BUCKETS)
+        else:
+            buckets = range(NUM_BUCKETS - 1, start_bucket - 1, -1)
+        for bucket in buckets:
+            if self._members[bucket]:
+                yield self.members_sorted(bucket)
+
+    def check(self, free_cpu: np.ndarray, free_mem: np.ndarray) -> None:
+        """Assert the index matches the arrays (test/debug helper)."""
+        expected = bucket_of_array(free_cpu + free_mem)
+        if not np.array_equal(self._bucket_of_machine, expected):
+            bad = np.flatnonzero(self._bucket_of_machine != expected)
+            raise AssertionError(
+                f"capacity index out of sync on machines {bad[:8].tolist()}"
+            )
+        for bucket, members in enumerate(self._members):
+            for machine in sorted(members):
+                if int(expected[machine]) != bucket:
+                    raise AssertionError(
+                        f"machine {machine} filed in bucket {bucket}, "
+                        f"belongs in {int(expected[machine])}"
+                    )

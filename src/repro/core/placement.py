@@ -13,6 +13,26 @@ The order matters for *interference*: deterministic best-fit makes
 concurrent schedulers pick the same machines, which is one of the two
 reasons the paper's high-fidelity simulator sees more conflicts than
 the lightweight one.
+
+Kernel layout (the paper-scale rewrite, ROADMAP item 1):
+
+* :func:`randomized_first_fit` samples machine draws in blocks of
+  :data:`SAMPLE_BLOCK` instead of materialising and shuffling the full
+  candidate set — O(tasks placed) in the common case — and falls back
+  to an exact full-candidate shuffle when sampling stalls, so the
+  result is always work-conserving like the original kernel.
+* :func:`_pack` is a cumulative-capacity formulation: per-machine task
+  limits from ``floor_divide``, ``cumsum``, and ``searchsorted`` for
+  the machine where the job's demand is exhausted.
+* :func:`best_fit`/:func:`worst_fit` accept a
+  :class:`~repro.core.capacity_index.CapacityIndex` and scan its
+  buckets instead of sorting all candidates per call.
+
+Each vectorized kernel has a retained scalar reference
+(:func:`_pack_reference`, :func:`randomized_first_fit_reference`,
+:func:`_ordered_fit_reference`) used by the differential property tests
+in ``tests/core/test_kernel_equivalence.py``; the kernels must match
+them claim-for-claim, including every EPSILON comparison and RNG draw.
 """
 
 from __future__ import annotations
@@ -21,8 +41,17 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.capacity_index import CapacityIndex, bucket_of
 from repro.core.cellstate import EPSILON
 from repro.core.transaction import Claim
+
+#: Machine draws per sampling round of :func:`randomized_first_fit`.
+SAMPLE_BLOCK = 64
+
+#: Sampling rounds before :func:`randomized_first_fit` gives up on
+#: drawing and switches to the exact full-candidate fallback. Bounds
+#: the worst case (nearly-saturated cells) at a few hundred draws.
+MAX_SAMPLE_BLOCKS = 3
 
 
 def randomized_first_fit(
@@ -40,20 +69,126 @@ def randomized_first_fit(
     the total claimed count is ``<= num_tasks`` (fewer when the view has
     insufficient room, in which case the scheduler retries the job
     later, per the paper's incremental-placement policy).
+
+    Machines are drawn uniformly at random in blocks of
+    :data:`SAMPLE_BLOCK` (repeats are skipped), which touches only
+    O(tasks placed) machines on a mostly-free cell instead of shuffling
+    all ``n`` candidates. If a whole block makes no progress, or
+    :data:`MAX_SAMPLE_BLOCKS` blocks still leave tasks unplaced, the
+    exact fallback shuffles the not-yet-examined candidates and packs
+    them — so the kernel remains work-conserving: it places fewer than
+    ``num_tasks`` only when the view truly lacks room.
     """
     _validate(cpu, mem, num_tasks)
-    candidates = np.flatnonzero(
-        (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
-    )
-    if candidates.size == 0:
-        return []
-    rng.shuffle(candidates)
-    return _pack(candidates, free_cpu, free_mem, cpu, mem, num_tasks)
+    num_machines = free_cpu.shape[0]
+    claims: list[Claim] = []
+    remaining = num_tasks
+    examined: set[int] = set()
+    # ``item()`` returns python floats, so the per-draw work below runs
+    # on unboxed doubles (same IEEE-754 results as the array ufuncs,
+    # several times faster at this size).
+    cpu_at = free_cpu.item
+    mem_at = free_mem.item
+    for _ in range(MAX_SAMPLE_BLOCKS):
+        draws = (rng.random(SAMPLE_BLOCK) * num_machines).astype(np.int64)
+        progressed = False
+        for machine in draws.tolist():
+            if machine in examined:
+                continue
+            examined.add(machine)
+            have_cpu = cpu_at(machine) + EPSILON
+            have_mem = mem_at(machine) + EPSILON
+            if have_cpu < cpu or have_mem < mem:
+                continue
+            count = remaining
+            if cpu > 0:
+                count = min(count, int(have_cpu // cpu))
+            if mem > 0:
+                count = min(count, int(have_mem // mem))
+            claims.append(Claim(machine, cpu, mem, count))
+            remaining -= count
+            progressed = True
+            if remaining == 0:
+                return claims
+        if not progressed:
+            break
+    # Exact fallback: every feasible machine not yet examined, in a
+    # uniformly random order. Machines already claimed from are full
+    # w.r.t. per-task limits (otherwise remaining would be 0), so
+    # excluding ``examined`` loses nothing.
+    mask = (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
+    if examined:
+        mask[sorted(examined)] = False
+    candidates = np.flatnonzero(mask)
+    if candidates.size:
+        rng.shuffle(candidates)
+        claims.extend(_pack(candidates, free_cpu, free_mem, cpu, mem, remaining))
+    return claims
+
+
+def randomized_first_fit_reference(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+) -> list[Claim]:
+    """Retained scalar reference for :func:`randomized_first_fit`.
+
+    Independent re-implementation with the identical RNG draw schedule
+    and EPSILON arithmetic, but packing via the scalar
+    :func:`_pack_reference` walk. The differential property tests assert
+    the vectorized kernel matches this claim-for-claim.
+    """
+    _validate(cpu, mem, num_tasks)
+    num_machines = free_cpu.shape[0]
+    claims: list[Claim] = []
+    remaining = num_tasks
+    examined: set[int] = set()
+    for _ in range(MAX_SAMPLE_BLOCKS):
+        draws = (rng.random(SAMPLE_BLOCK) * num_machines).astype(np.int64)
+        progressed = False
+        for machine in draws.tolist():
+            if machine in examined:
+                continue
+            examined.add(machine)
+            have_cpu = free_cpu.item(machine) + EPSILON
+            have_mem = free_mem.item(machine) + EPSILON
+            if have_cpu < cpu or have_mem < mem:
+                continue
+            count = remaining
+            if cpu > 0:
+                count = min(count, int(have_cpu // cpu))
+            if mem > 0:
+                count = min(count, int(have_mem // mem))
+            claims.append(Claim(machine=machine, cpu=cpu, mem=mem, count=count))
+            remaining -= count
+            progressed = True
+            if remaining == 0:
+                return claims
+        if not progressed:
+            break
+    mask = (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
+    if examined:
+        mask[sorted(examined)] = False
+    candidates = np.flatnonzero(mask)
+    if candidates.size:
+        rng.shuffle(candidates)
+        claims.extend(
+            _pack_reference(candidates, free_cpu, free_mem, cpu, mem, remaining)
+        )
+    return claims
 
 
 def _validate(cpu: float, mem: float, num_tasks: int) -> None:
     if num_tasks < 1:
         raise ValueError(f"num_tasks must be >= 1, got {num_tasks}")
+    if cpu < 0 or mem < 0:
+        raise ValueError(
+            f"task resource requests must be non-negative, got "
+            f"cpu={cpu}, mem={mem}"
+        )
     if cpu <= 0 and mem <= 0:
         raise ValueError("tasks must request some resource")
 
@@ -66,7 +201,53 @@ def _pack(
     mem: float,
     num_tasks: int,
 ) -> list[Claim]:
-    """Walk candidates in order, packing as many tasks as fit on each."""
+    """Pack tasks onto candidates in order (cumulative-capacity kernel).
+
+    Vectorized equivalent of the first-fit walk in
+    :func:`_pack_reference`: per-machine task limits via
+    ``floor_divide``, then ``cumsum`` + ``searchsorted`` find the
+    machine on which the job's demand runs out.
+    """
+    if candidates.size == 0 or num_tasks <= 0:
+        return []
+    limits = np.full(candidates.shape, float(num_tasks))
+    if cpu > 0:
+        np.minimum(
+            limits, np.floor_divide(free_cpu[candidates] + EPSILON, cpu), out=limits
+        )
+    if mem > 0:
+        np.minimum(
+            limits, np.floor_divide(free_mem[candidates] + EPSILON, mem), out=limits
+        )
+    counts = limits.astype(np.int64)
+    positive = counts > 0
+    if not positive.all():
+        candidates = candidates[positive]
+        counts = counts[positive]
+        if counts.size == 0:
+            return []
+    cumulative = np.cumsum(counts)
+    cut = int(np.searchsorted(cumulative, num_tasks, side="left"))
+    if cut < counts.size:
+        candidates = candidates[: cut + 1]
+        counts = counts[: cut + 1].copy()
+        counts[cut] = num_tasks - (int(cumulative[cut - 1]) if cut else 0)
+    return [
+        Claim(machine=machine, cpu=cpu, mem=mem, count=count)
+        for machine, count in zip(candidates.tolist(), counts.tolist())
+    ]
+
+
+def _pack_reference(
+    candidates: np.ndarray,
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+) -> list[Claim]:
+    """Retained scalar reference for :func:`_pack`: walk candidates in
+    order, packing as many tasks as fit on each."""
     claims: list[Claim] = []
     remaining = num_tasks
     for machine in candidates:
@@ -85,6 +266,7 @@ def _pack(
             break
     return claims
 
+
 def _ordered_fit(
     free_cpu: np.ndarray,
     free_mem: np.ndarray,
@@ -93,13 +275,68 @@ def _ordered_fit(
     num_tasks: int,
     rng: np.random.Generator,
     descending_free: bool,
+    index: CapacityIndex | None = None,
 ) -> list[Claim]:
-    """First fit over candidates sorted by free capacity.
+    """First fit over candidates ordered by free capacity.
 
     ``descending_free=False`` is best fit (fullest machines first),
-    ``True`` is worst fit (emptiest first). A small random jitter breaks
-    ties so repeated identical calls do not always produce one ordering.
+    ``True`` is worst fit (emptiest first). Candidates with equal free
+    capacity are visited in machine-id order, so the result is a pure
+    function of the free arrays. ``rng`` is unused but kept so all
+    placement strategies share one signature.
+
+    With a :class:`~repro.core.capacity_index.CapacityIndex`, the scan
+    walks capacity buckets in order and sorts only the buckets it
+    touches — sublinear per placement on large cells. Both paths visit
+    machines in the identical global ``(free capacity, machine id)``
+    order (see the index's determinism contract).
     """
+    del rng  # deterministic tie-break: (free capacity, machine id)
+    _validate(cpu, mem, num_tasks)
+    if index is None:
+        candidates = np.flatnonzero(
+            (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
+        )
+        if candidates.size == 0:
+            return []
+        keys = free_cpu[candidates] + free_mem[candidates]
+        order = np.lexsort((candidates, -keys if descending_free else keys))
+        return _pack(candidates[order], free_cpu, free_mem, cpu, mem, num_tasks)
+    # A machine needs free_cpu >= cpu - EPSILON and free_mem >= mem -
+    # EPSILON, so its capacity key is at least cpu + mem - 2*EPSILON;
+    # buckets entirely below that can never hold a feasible machine.
+    start_bucket = bucket_of(max(cpu + mem - 2.0 * EPSILON, 0.0))
+    claims: list[Claim] = []
+    remaining = num_tasks
+    for members in index.scan(ascending=not descending_free, start_bucket=start_bucket):
+        feasible = members[
+            (free_cpu[members] + EPSILON >= cpu)
+            & (free_mem[members] + EPSILON >= mem)
+        ]
+        if feasible.size == 0:
+            continue
+        keys = free_cpu[feasible] + free_mem[feasible]
+        order = np.lexsort((feasible, -keys if descending_free else keys))
+        packed = _pack(feasible[order], free_cpu, free_mem, cpu, mem, remaining)
+        claims.extend(packed)
+        remaining -= sum(claim.count for claim in packed)
+        if remaining == 0:
+            break
+    return claims
+
+
+def _ordered_fit_reference(
+    free_cpu: np.ndarray,
+    free_mem: np.ndarray,
+    cpu: float,
+    mem: float,
+    num_tasks: int,
+    rng: np.random.Generator,
+    descending_free: bool,
+) -> list[Claim]:
+    """Retained scalar reference for :func:`_ordered_fit`: full sort of
+    all candidates, scalar pack."""
+    del rng
     _validate(cpu, mem, num_tasks)
     candidates = np.flatnonzero(
         (free_cpu + EPSILON >= cpu) & (free_mem + EPSILON >= mem)
@@ -107,9 +344,8 @@ def _ordered_fit(
     if candidates.size == 0:
         return []
     keys = free_cpu[candidates] + free_mem[candidates]
-    keys = keys + rng.uniform(0.0, 1e-9, size=keys.shape)
-    order = np.argsort(-keys if descending_free else keys, kind="stable")
-    return _pack(candidates[order], free_cpu, free_mem, cpu, mem, num_tasks)
+    order = np.lexsort((candidates, -keys if descending_free else keys))
+    return _pack_reference(candidates[order], free_cpu, free_mem, cpu, mem, num_tasks)
 
 
 def best_fit(
@@ -119,10 +355,11 @@ def best_fit(
     mem: float,
     num_tasks: int,
     rng: np.random.Generator,
+    index: CapacityIndex | None = None,
 ) -> list[Claim]:
     """Pack the fullest feasible machines first (tight packing;
     concurrent schedulers collide often)."""
-    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, False)
+    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, False, index)
 
 
 def worst_fit(
@@ -132,10 +369,11 @@ def worst_fit(
     mem: float,
     num_tasks: int,
     rng: np.random.Generator,
+    index: CapacityIndex | None = None,
 ) -> list[Claim]:
     """Fill the emptiest machines first (load spreading; concurrent
     schedulers naturally steer apart)."""
-    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, True)
+    return _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, True, index)
 
 
 #: Strategy registry for the lightweight simulator and its ablations.
@@ -144,6 +382,9 @@ PLACEMENT_STRATEGIES: dict[str, Callable] = {
     "best-fit": best_fit,
     "worst-fit": worst_fit,
 }
+
+#: Strategies that accept (and profit from) a snapshot's capacity index.
+_INDEXED_STRATEGIES = frozenset({"best-fit", "worst-fit"})
 
 
 def placement_fn(strategy: str):
@@ -155,8 +396,10 @@ def placement_fn(strategy: str):
             f"unknown placement strategy {strategy!r}; "
             f"choose from {sorted(PLACEMENT_STRATEGIES)}"
         ) from None
+    indexed = strategy in _INDEXED_STRATEGIES
 
     def placement(snapshot, job, rng):
+        kwargs = {"index": snapshot.capacity_index()} if indexed else {}
         return fit(
             snapshot.free_cpu,
             snapshot.free_mem,
@@ -164,6 +407,7 @@ def placement_fn(strategy: str):
             job.mem_per_task,
             job.unplaced_tasks,
             rng,
+            **kwargs,
         )
 
     return placement

@@ -501,8 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = subparsers.add_parser(
         "bench",
         help="run the curated performance benchmarks and regression gate "
-        "(snapshot resync, placement packing, event-loop throughput, "
-        "serial-vs-parallel sweep; see docs/PERFORMANCE.md)",
+        "(snapshot resync, placement packing, batched commit, paper-scale "
+        "sweep, event-loop throughput, serial-vs-parallel sweep; see "
+        "docs/PERFORMANCE.md)",
     )
     bench_parser.add_argument(
         "--smoke",
@@ -528,6 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="relative throughput-regression tolerance vs the baseline",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="compare two saved result JSONs (delta table) instead of "
+        "running benchmarks; exits 2 on corrupt or schema-invalid inputs",
     )
 
     trace_parser = subparsers.add_parser(

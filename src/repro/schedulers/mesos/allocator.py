@@ -230,11 +230,13 @@ class MesosAllocator:
         """
         totals = self._allocated[framework]
         with _san.master_scope("mesos-launch"):
-            for claim in claims:
-                self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
-                totals[0] += claim.cpu * claim.count
-                totals[1] += claim.mem * claim.count
-                self.sim.after(duration, self._task_end, framework, claim)
+            # One claim per machine within an offer, so the batch apply
+            # is order-equivalent to the old claim-by-claim loop.
+            self.state.claim_batch(claims)
+        for claim in claims:
+            totals[0] += claim.cpu * claim.count
+            totals[1] += claim.mem * claim.count
+            self.sim.after(duration, self._task_end, framework, claim)
 
     def _task_end(self, framework: "MesosFramework", claim: Claim) -> None:
         with _san.master_scope("task-end"):

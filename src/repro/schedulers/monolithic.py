@@ -112,8 +112,7 @@ class MonolithicScheduler(QueueScheduler):
             self._rng,
         )
         with _san.master_scope("monolithic-place"):
-            for claim in claims:
-                self.state.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+            self.state.claim_batch(claims)
         placed = sum(claim.count for claim in claims)
         job.unplaced_tasks -= placed
         rec = _obs.RECORDER

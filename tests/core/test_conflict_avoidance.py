@@ -27,9 +27,9 @@ class TestHotMachineAvoidance:
         state = CellState(Cell.homogeneous(2, 4.0, 16.0))
         scheduler = make_scheduler(sim, metrics, state, cooldown=30.0)
         # Manufacture a conflict on machine 0: fill it mid-think.
+        state.claim(1, 4.0, 16.0)  # only machine 0 is plannable
         job = make_job(num_tasks=1, cpu=3.0, mem=3.0, duration=5.0)
         scheduler.submit(job)
-        state.claim(1, 4.0, 16.0)  # only machine 0 is plannable
         sim.at(0.05, state.claim, 0, 4.0, 16.0)
         sim.run(until=0.2)
         assert job.conflicts == 1
@@ -78,8 +78,8 @@ class TestHotMachineAvoidance:
         # Machines 1-3 are full; machine 0 is the hot machine.
         for machine in (1, 2, 3):
             state.claim(machine, 3.5, 14.0)
-        a = make_scheduler(sim, metrics, state, name="a", seed=1, cooldown=5.0)
-        b = make_scheduler(sim, metrics, state, name="b", seed=2, cooldown=5.0)
+        a = make_scheduler(sim, metrics, state, name="a", seed=11, cooldown=5.0)
+        b = make_scheduler(sim, metrics, state, name="b", seed=12, cooldown=5.0)
         for index in range(6):
             target = a if index % 2 == 0 else b
             target.submit(make_job(num_tasks=8, cpu=0.5, mem=0.5, duration=3.0))

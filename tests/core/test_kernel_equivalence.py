@@ -1,0 +1,588 @@
+"""Differential property tests: vectorized kernels vs scalar references.
+
+Every vectorized kernel introduced by the paper-scale rewrite keeps its
+pre-vectorization scalar implementation as a retained reference
+(:func:`repro.core.placement._pack_reference`,
+:func:`repro.core.placement.randomized_first_fit_reference`,
+:func:`repro.core.placement._ordered_fit_reference`,
+:func:`repro.core.transaction.commit_reference`, and the scalar
+:meth:`repro.core.cellstate.CellState.claim` loop under
+:meth:`~repro.core.cellstate.CellState.claim_batch`). These tests drive
+both sides with Hypothesis-generated cells, claims, and interleavings —
+deliberately including EPSILON-boundary free values (``k * demand`` plus
+sub-EPSILON dust), duplicate machines, stale snapshots, and gang
+aborts — and assert the outputs are *identical*: same Claims, same
+CommitResults, bitwise-equal free/seq arrays, same dirty changelogs,
+same exceptions. Exact float equality below is intentional; bit-identity
+is the property under test.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import sanitizer as _san
+from repro.cluster import Cell
+from repro.core.capacity_index import (
+    NUM_BUCKETS,
+    CapacityIndex,
+    bucket_of,
+    bucket_of_array,
+)
+from repro.core.cellstate import (
+    EPSILON,
+    MIN_BATCH_CLAIMS,
+    CellState,
+    OvercommitError,
+)
+from repro.core.placement import (
+    _ordered_fit,
+    _ordered_fit_reference,
+    _pack,
+    _pack_reference,
+    best_fit,
+    randomized_first_fit,
+    randomized_first_fit_reference,
+    worst_fit,
+)
+from repro.core.transaction import (
+    Claim,
+    CommitMode,
+    ConflictMode,
+    commit,
+    commit_reference,
+)
+
+#: Per-task demands the strategies draw from; 0.0 exercises the
+#: "dimension not requested" branches.
+TASK_SIZES = (0.0, 0.25, 0.5, 1.0, 1.5)
+
+#: Dust added to exact multiples of the demand so free values straddle
+#: the EPSILON fit boundary from both sides.
+DUST = (-2.0 * EPSILON, -0.5 * EPSILON, 0.0, 0.5 * EPSILON, 2.0 * EPSILON, 0.07)
+
+
+@st.composite
+def _boundary_free(draw, unit: float) -> float:
+    """A free value of ``k * unit`` plus sub-/super-EPSILON dust."""
+    step = unit if unit > 0 else 0.25
+    value = draw(st.integers(0, 6)) * step + draw(st.sampled_from(DUST))
+    return max(0.0, value)
+
+
+@st.composite
+def pack_cases(draw):
+    cpu = draw(st.sampled_from(TASK_SIZES))
+    mem = draw(st.sampled_from(TASK_SIZES))
+    if cpu == 0.0 and mem == 0.0:
+        mem = 1.0
+    n = draw(st.integers(1, 32))
+    free_cpu = np.array([draw(_boundary_free(cpu)) for _ in range(n)])
+    free_mem = np.array([draw(_boundary_free(mem)) for _ in range(n)])
+    order = draw(st.permutations(list(range(n))))
+    candidates = np.array(order[: draw(st.integers(0, n))], dtype=np.intp)
+    num_tasks = draw(st.integers(1, 48))
+    return free_cpu, free_mem, cpu, mem, candidates, num_tasks
+
+
+class TestPackEquivalence:
+    @given(pack_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_pack_matches_reference(self, case):
+        free_cpu, free_mem, cpu, mem, candidates, num_tasks = case
+        got = _pack(candidates, free_cpu, free_mem, cpu, mem, num_tasks)
+        want = _pack_reference(candidates, free_cpu, free_mem, cpu, mem, num_tasks)
+        assert got == want
+
+    def test_pack_epsilon_boundary_exact(self):
+        # free + EPSILON straddles 3 tasks of 0.5: half-EPSILON short
+        # still rounds to 3; 2*EPSILON short drops to 2. Both kernels
+        # must agree because both divide through the same ufunc.
+        for dust, expected in ((-0.5 * EPSILON, 3), (-2.0 * EPSILON, 2)):
+            free_cpu = np.array([1.5 + dust])
+            free_mem = np.array([8.0])
+            candidates = np.arange(1, dtype=np.intp)
+            got = _pack(candidates, free_cpu, free_mem, 0.5, 1.0, 5)
+            want = _pack_reference(candidates, free_cpu, free_mem, 0.5, 1.0, 5)
+            assert got == want
+            assert got[0].count == expected
+
+
+class TestRandomizedFirstFitEquivalence:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 160),
+        cpu=st.sampled_from(TASK_SIZES),
+        mem=st.sampled_from(TASK_SIZES),
+        num_tasks=st.integers(1, 200),
+        fill=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_draw_for_draw(self, seed, n, cpu, mem, num_tasks, fill):
+        if cpu == 0.0 and mem == 0.0:
+            mem = 1.0
+        setup = np.random.default_rng(seed ^ 0xA5A5)
+        # Mostly-full cells force the exact shuffled fallback; mostly
+        # free cells stay on the sampled path.
+        free_cpu = np.where(setup.random(n) < fill, setup.random(n) * 4.0, 0.0)
+        free_mem = np.where(setup.random(n) < fill, setup.random(n) * 8.0, 0.0)
+        got = randomized_first_fit(
+            free_cpu, free_mem, cpu, mem, num_tasks, np.random.default_rng(seed)
+        )
+        want = randomized_first_fit_reference(
+            free_cpu, free_mem, cpu, mem, num_tasks, np.random.default_rng(seed)
+        )
+        assert got == want
+
+    def test_rejects_negative_requests(self):
+        free = np.ones(4)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            randomized_first_fit(free, free, -1.0, 1.0, 1, rng)
+        with pytest.raises(ValueError, match="non-negative"):
+            randomized_first_fit_reference(free, free, 1.0, -0.5, 1, rng)
+
+
+class TestOrderedFitEquivalence:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(1, 96),
+        cpu=st.sampled_from(TASK_SIZES),
+        mem=st.sampled_from(TASK_SIZES),
+        num_tasks=st.integers(1, 64),
+        descending=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_indexed_plain_and_reference_agree(
+        self, seed, n, cpu, mem, num_tasks, descending
+    ):
+        if cpu == 0.0 and mem == 0.0:
+            cpu = 0.5
+        setup = np.random.default_rng(seed)
+        free_cpu = setup.random(n) * 4.0
+        free_mem = setup.random(n) * 8.0
+        # Duplicate capacity keys so tie-breaks matter.
+        if n >= 4:
+            free_cpu[n // 2] = free_cpu[0]
+            free_mem[n // 2] = free_mem[0]
+        rng = np.random.default_rng(0)
+        index = CapacityIndex(free_cpu, free_mem)
+        indexed = _ordered_fit(
+            free_cpu, free_mem, cpu, mem, num_tasks, rng, descending, index
+        )
+        plain = _ordered_fit(free_cpu, free_mem, cpu, mem, num_tasks, rng, descending)
+        reference = _ordered_fit_reference(
+            free_cpu, free_mem, cpu, mem, num_tasks, rng, descending
+        )
+        assert indexed == plain == reference
+
+    def test_best_and_worst_fit_use_the_index(self):
+        free_cpu = np.array([4.0, 1.0, 2.0, 4.0])
+        free_mem = np.array([8.0, 1.0, 2.0, 8.0])
+        index = CapacityIndex(free_cpu, free_mem)
+        rng = np.random.default_rng(0)
+        best = best_fit(free_cpu, free_mem, 1.0, 1.0, 1, rng, index)
+        worst = worst_fit(free_cpu, free_mem, 1.0, 1.0, 1, rng, index)
+        assert best == [Claim(machine=1, cpu=1.0, mem=1.0, count=1)]
+        assert worst == [Claim(machine=0, cpu=1.0, mem=1.0, count=1)]
+
+
+# ----------------------------------------------------------------------
+# Commit: batched path vs retained scalar reference
+# ----------------------------------------------------------------------
+def _assert_states_identical(a: CellState, b: CellState) -> None:
+    assert np.array_equal(a.free_cpu, b.free_cpu)
+    assert np.array_equal(a.free_mem, b.free_mem)
+    assert np.array_equal(a.seq, b.seq)
+    assert a.version == b.version
+    assert list(a._changelog) == list(b._changelog)
+    assert a.used_cpu == b.used_cpu  # omega-lint: disable=FLT001 -- bit-identity is the property under test
+    assert a.used_mem == b.used_mem  # omega-lint: disable=FLT001 -- bit-identity is the property under test
+
+
+@st.composite
+def commit_cases(draw):
+    n = draw(st.integers(2, 24))
+    prefill = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from((0.5, 1.0)),
+                st.sampled_from((0.5, 2.0)),
+                st.integers(1, 3),
+            ),
+            max_size=12,
+        )
+    )
+    # Applied to the master after the snapshot: creates staleness
+    # (COARSE conflicts) and shrinks capacity (FINE conflicts).
+    perturb = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from((0.5, 1.0)),
+                st.sampled_from((0.5, 2.0)),
+                st.integers(1, 3),
+            ),
+            max_size=8,
+        )
+    )
+    txn = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),  # duplicates allowed
+                st.sampled_from(TASK_SIZES),
+                st.sampled_from(TASK_SIZES),
+                st.integers(1, 6),
+            ),
+            min_size=MIN_BATCH_CLAIMS,
+            max_size=20,
+        )
+    )
+    claims = [
+        Claim(machine=m, cpu=c if c or r else 0.5, mem=r, count=k)
+        for m, c, r, k in txn
+    ]
+    return n, prefill, perturb, claims
+
+
+def _build(n, prefill, perturb):
+    """A (state, snapshot) pair: prefill, snapshot, then perturb."""
+    state = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+    for machine, cpu, mem, count in prefill:
+        if state.fits(machine, cpu, mem, count):
+            state.claim(machine, cpu, mem, count)
+    snapshot = state.snapshot()
+    for machine, cpu, mem, count in perturb:
+        if state.fits(machine, cpu, mem, count):
+            state.claim(machine, cpu, mem, count)
+    return state, snapshot
+
+
+class TestCommitEquivalence:
+    @given(commit_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_commit_matches_reference_all_modes(self, case):
+        n, prefill, perturb, claims = case
+        for conflict_mode in ConflictMode:
+            for commit_mode in CommitMode:
+                state, snapshot = _build(n, prefill, perturb)
+                ref_state, ref_snapshot = _build(n, prefill, perturb)
+                got = want = got_exc = want_exc = None
+                try:
+                    got = commit(state, claims, snapshot, conflict_mode, commit_mode)
+                except (OvercommitError, ValueError) as exc:
+                    got_exc = exc
+                try:
+                    want = commit_reference(
+                        ref_state, claims, ref_snapshot, conflict_mode, commit_mode
+                    )
+                except (OvercommitError, ValueError) as exc:
+                    want_exc = exc
+                # Same outcome — result or exception — and the master
+                # copies must be bitwise identical either way (an
+                # exception leaves both partially applied the same way).
+                assert (got_exc is None) == (want_exc is None)
+                if got_exc is not None:
+                    assert type(got_exc) is type(want_exc)
+                    assert str(got_exc) == str(want_exc)
+                else:
+                    assert got == want
+                _assert_states_identical(state, ref_state)
+
+    def test_gang_abort_leaves_master_untouched(self):
+        n = 12
+        state = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        snapshot = state.snapshot()
+        state.claim(3, 1.0, 1.0, 1)  # stale seq on machine 3
+        ref_state = CellState(
+            Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0)
+        )
+        ref_snapshot = ref_state.snapshot()
+        ref_state.claim(3, 1.0, 1.0, 1)
+        claims = [Claim(machine=m, cpu=0.5, mem=0.5, count=2) for m in range(n)]
+        got = commit(
+            state,
+            claims,
+            snapshot,
+            ConflictMode.COARSE,
+            CommitMode.ALL_OR_NOTHING,
+        )
+        want = commit_reference(
+            ref_state,
+            claims,
+            ref_snapshot,
+            ConflictMode.COARSE,
+            CommitMode.ALL_OR_NOTHING,
+        )
+        assert got == want
+        assert got.accepted == ()
+        assert got.rejected == tuple(claims)
+        _assert_states_identical(state, ref_state)
+
+    def test_partial_accept_slices_apply_arrays(self):
+        # >= MIN_BATCH_CLAIMS accepted alongside rejections exercises
+        # the granted-positions slicing (batch apply on the slow path).
+        n = 16
+        state = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        ref_state = CellState(
+            Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0)
+        )
+        snapshot = state.snapshot()
+        ref_snapshot = ref_state.snapshot()
+        state.claim(0, 4.0, 8.0, 1)  # machine 0 now full
+        ref_state.claim(0, 4.0, 8.0, 1)
+        claims = [Claim(machine=m, cpu=1.0, mem=2.0, count=2) for m in range(n)]
+        got = commit(state, claims, snapshot)
+        want = commit_reference(ref_state, claims, ref_snapshot)
+        assert got == want
+        assert len(got.accepted) == n - 1
+        assert got.rejected == (claims[0],)
+        _assert_states_identical(state, ref_state)
+
+
+# ----------------------------------------------------------------------
+# CellState.claim_batch vs sequential claim(), under interleavings
+# ----------------------------------------------------------------------
+@st.composite
+def op_sequences(draw):
+    n = draw(st.integers(2, 16))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("claim"),
+                    st.integers(0, n - 1),
+                    st.sampled_from((0.5, 1.0)),
+                    st.sampled_from((0.5, 2.0)),
+                    st.integers(1, 4),
+                ),
+                st.tuples(
+                    st.just("release"),
+                    st.integers(0, n - 1),
+                    st.sampled_from((0.5, 1.0)),
+                    st.sampled_from((0.5, 2.0)),
+                    st.integers(1, 4),
+                ),
+                st.tuples(
+                    st.just("batch"),
+                    st.lists(
+                        st.tuples(
+                            st.integers(0, n - 1),
+                            st.sampled_from((0.25, 0.5)),
+                            st.sampled_from((0.5, 1.0)),
+                            st.integers(1, 3),
+                        ),
+                        max_size=MIN_BATCH_CLAIMS + 4,
+                    ),
+                ),
+            ),
+            max_size=12,
+        )
+    )
+    return n, ops
+
+
+class TestClaimBatchEquivalence:
+    @given(op_sequences())
+    @settings(max_examples=150, deadline=None)
+    def test_interleavings_match_sequential(self, case):
+        n, ops = case
+        batched = CellState(
+            Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0)
+        )
+        sequential = CellState(
+            Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0)
+        )
+        batched.capacity_index()  # force incremental index maintenance
+        for op in ops:
+            if op[0] == "batch":
+                claims = [
+                    Claim(machine=m, cpu=c, mem=r, count=k) for m, c, r, k in op[1]
+                ]
+                exc_a = exc_b = None
+                try:
+                    batched.claim_batch(claims)
+                except OvercommitError as exc:
+                    exc_a = exc
+                try:
+                    for claim in claims:
+                        sequential.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+                except OvercommitError as exc:
+                    exc_b = exc
+            else:
+                _, machine, cpu, mem, count = op
+                method_a = getattr(batched, op[0])
+                method_b = getattr(sequential, op[0])
+                exc_a = exc_b = None
+                try:
+                    method_a(machine, cpu, mem, count)
+                except OvercommitError as exc:
+                    exc_a = exc
+                try:
+                    method_b(machine, cpu, mem, count)
+                except OvercommitError as exc:
+                    exc_b = exc
+            assert (exc_a is None) == (exc_b is None)
+            if exc_a is not None:
+                assert str(exc_a) == str(exc_b)
+            _assert_states_identical(batched, sequential)
+        batched.capacity_index().check(batched.free_cpu, batched.free_mem)
+
+    def test_duplicate_machines_fall_back_to_sequential(self):
+        n = 16
+        a = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        b = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        claims = [Claim(machine=m % 4, cpu=0.25, mem=0.5, count=1) for m in range(12)]
+        a.claim_batch(claims)
+        for claim in claims:
+            b.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+        _assert_states_identical(a, b)
+
+    def test_overcommit_partial_application_matches(self):
+        n = 12
+        a = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        b = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        claims = [Claim(machine=m, cpu=1.0, mem=1.0, count=1) for m in range(10)]
+        claims[6] = Claim(machine=6, cpu=5.0, mem=1.0, count=1)  # cannot fit
+        with pytest.raises(OvercommitError) as exc_a:
+            a.claim_batch(claims)
+        with pytest.raises(OvercommitError) as exc_b:
+            for claim in claims:
+                b.claim(claim.machine, claim.cpu, claim.mem, claim.count)
+        assert str(exc_a.value) == str(exc_b.value)
+        _assert_states_identical(a, b)
+
+    def test_arrays_fast_path_matches_rebuild(self):
+        n = 16
+        a = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        b = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        claims = [Claim(machine=m, cpu=0.5, mem=1.0, count=2) for m in range(12)]
+        machines = np.array([c.machine for c in claims], dtype=np.intp)
+        counts = np.array([c.count for c in claims], dtype=np.int64)
+        total_cpu = np.array([c.cpu for c in claims]) * counts
+        total_mem = np.array([c.mem for c in claims]) * counts
+        a.claim_batch(claims, _arrays=(machines, counts, total_cpu, total_mem))
+        b.claim_batch(claims)
+        _assert_states_identical(a, b)
+
+
+# ----------------------------------------------------------------------
+# Capacity index
+# ----------------------------------------------------------------------
+class TestCapacityIndex:
+    def test_bucket_of_matches_array_form(self):
+        keys = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.99, 4.0, 1e18, 2.0**70])
+        array_buckets = bucket_of_array(keys.copy())
+        for key, expected in zip(keys.tolist(), array_buckets.tolist()):
+            assert bucket_of(key) == expected
+        assert bucket_of(0.0) == 0
+        assert bucket_of(2.0**300) == NUM_BUCKETS - 1
+
+    def test_update_one_moves_between_buckets(self):
+        free = np.array([4.0, 4.0])
+        index = CapacityIndex(free, free)  # keys 8.0 -> bucket 4
+        assert index.members_sorted(4).tolist() == [0, 1]
+        index.update_one(0, 0.5)
+        assert index.members_sorted(4).tolist() == [1]
+        assert index.members_sorted(0).tolist() == [0]
+        index.check(np.array([0.25, 4.0]), np.array([0.25, 4.0]))
+
+    def test_update_many_last_key_wins(self):
+        free = np.ones(3)
+        index = CapacityIndex(free, free)
+        index.update_many(
+            np.array([0, 0], dtype=np.intp), np.array([16.0, 0.5])
+        )
+        assert int(index._bucket_of_machine[0]) == bucket_of(0.5)
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_scan_visits_global_capacity_order(self, seed, n):
+        rng = np.random.default_rng(seed)
+        free_cpu = rng.random(n) * 8.0
+        free_mem = rng.random(n) * 16.0
+        if n >= 2:  # force at least one key tie
+            free_cpu[n - 1] = free_cpu[0]
+            free_mem[n - 1] = free_mem[0]
+        keys = free_cpu + free_mem
+        index = CapacityIndex(free_cpu, free_mem)
+        for ascending in (True, False):
+            visited = []
+            for members in index.scan(ascending=ascending):
+                member_keys = keys[members]
+                order = np.lexsort(
+                    (members, -member_keys if not ascending else member_keys)
+                )
+                visited.extend(members[order].tolist())
+            global_order = np.lexsort((np.arange(n), -keys if not ascending else keys))
+            assert visited == global_order.tolist()
+
+    def test_scan_skips_buckets_below_start(self):
+        free = np.array([0.25, 4.0])
+        index = CapacityIndex(free, free)  # keys 0.5 (bucket 0), 8.0 (bucket 4)
+        seen = [m.tolist() for m in index.scan(ascending=True, start_bucket=1)]
+        assert seen == [[1]]
+
+    def test_check_detects_desync(self):
+        free = np.ones(4)
+        index = CapacityIndex(free, free)
+        index._bucket_of_machine[2] = 7
+        with pytest.raises(AssertionError, match="out of sync"):
+            index.check(free, free)
+
+    def test_maintained_through_cellstate_mutations(self):
+        state = CellState(Cell.homogeneous(8, cpu_per_machine=4.0, mem_per_machine=8.0))
+        index = state.capacity_index()
+        state.claim(0, 1.0, 2.0, 2)
+        state.claim(3, 1.0, 1.0, 1)
+        state.release(3, 1.0, 1.0, 1)
+        state.claim_batch(
+            [Claim(machine=m, cpu=0.5, mem=1.0, count=1) for m in range(8)]
+        )
+        index.check(state.free_cpu, state.free_mem)
+
+    def test_snapshot_index_survives_resync_and_local_writes(self):
+        state = CellState(Cell.homogeneous(8, cpu_per_machine=4.0, mem_per_machine=8.0))
+        snapshot = state.snapshot()
+        index = snapshot.capacity_index()
+        snapshot.free_cpu[5] = 0.0
+        snapshot.note_local_write(5)
+        index.check(snapshot.free_cpu, snapshot.free_mem)
+        state.claim(1, 2.0, 2.0, 1)
+        state.claim(2, 1.0, 4.0, 1)
+        snapshot.resync(state)
+        snapshot.capacity_index().check(snapshot.free_cpu, snapshot.free_mem)
+        assert snapshot.free_cpu[5] == state.free_cpu[5]
+
+
+# ----------------------------------------------------------------------
+# Sanitized vs plain commit: batched apply under omega-san
+# ----------------------------------------------------------------------
+class TestSanitizedCommitEquality:
+    def test_batched_commit_identical_under_sanitizer(self):
+        n = 16
+        claims = [Claim(machine=m, cpu=1.0, mem=2.0, count=2) for m in range(n)]
+        assert len(claims) >= MIN_BATCH_CLAIMS
+
+        plain = CellState(Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0))
+        plain_snap = plain.snapshot()
+        plain_result = commit(plain, claims, plain_snap)
+
+        sanitized = CellState(
+            Cell.homogeneous(n, cpu_per_machine=4.0, mem_per_machine=8.0)
+        )
+        san = _san.install()
+        try:
+            san.begin_run()
+            sanitized_snap = sanitized.snapshot()
+            san.on_sync("scheduler", sanitized_snap, sanitized)
+            sanitized_result = commit(sanitized, claims, sanitized_snap)
+            assert san.violations == 0
+            assert san.writes_checked >= len(claims)
+        finally:
+            _san.uninstall()
+
+        assert plain_result == sanitized_result
+        assert plain_result.fully_accepted
+        _assert_states_identical(plain, sanitized)

@@ -100,10 +100,12 @@ def test_trace_agrees_with_metrics_collector(traced):
 
 
 def test_conflicted_runs_trace_the_conflicts():
-    # Slow, coarse-grained service decisions force commit conflicts.
+    # Slow service decisions plus a batch-arrival surge (lots of churn
+    # under the stale service snapshot) force commit conflicts.
     result, recorder = _traced_run(
         service_model=DecisionTimeModel(t_job=30.0, t_task=1.0),
         num_batch_schedulers=4,
+        batch_rate_factor=4.0,
     )
     summary = obs.TraceSummary.from_records(recorder.records)
     metrics = result.metrics

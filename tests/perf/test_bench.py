@@ -27,6 +27,8 @@ class TestRunBenchmarks:
         assert set(benchmarks) == {
             "snapshot_resync",
             "placement_pack",
+            "commit_batch",
+            "paper_scale",
             "event_loop",
             "tracing_overhead",
             "sweep_serial_parallel",
@@ -34,6 +36,19 @@ class TestRunBenchmarks:
         }
         assert benchmarks["snapshot_resync"]["speedup"] > 0
         assert benchmarks["placement_pack"]["placements_per_s"] > 0
+        assert benchmarks["placement_pack"]["legacy_placements_per_s"] > 0
+        assert benchmarks["placement_pack"]["speedup"] > 0
+        commit_batch = benchmarks["commit_batch"]
+        assert commit_batch["batch_claims_per_s"] > 0
+        assert commit_batch["reference_claims_per_s"] > 0
+        assert commit_batch["identical_outcomes"] is True
+        paper = benchmarks["paper_scale"]
+        assert paper["events_processed"] > 0
+        assert paper["machines"] > 0
+        assert len(paper["rows"]) == paper["points"] > 0
+        for row in paper["rows"]:
+            assert row["events_processed"] > 0
+            assert row["wall_s"] > 0
         assert benchmarks["event_loop"]["events_per_s"] > 0
         tracing = benchmarks["tracing_overhead"]
         for mode in ("plain", "noop", "active", "timeline"):
@@ -74,6 +89,10 @@ class TestRunBenchmarks:
         names = {e["name"] for e in smoke_results["expectations"]}
         assert names == {
             "resync_speedup",
+            "placement_speedup",
+            "commit_batch_speedup",
+            "commit_batch_identical",
+            "paper_scale_shape",
             "tracing_noop_throughput",
             "serial_parallel_identical",
             "parallel_speedup",
@@ -82,15 +101,38 @@ class TestRunBenchmarks:
         by_name = {e["name"]: e for e in smoke_results["expectations"]}
         # Row identity is enforced even in smoke mode; timing floors are
         # recorded but unenforced at smoke sizes — except the sanitizer
-        # off-mode floor, whose guard cost is size-independent.
+        # off-mode floor (guard cost is size-independent) and the
+        # placement/commit kernel speedups (enforced with smoke-size
+        # floors so CI catches kernel regressions).
         assert by_name["serial_parallel_identical"]["enforced"]
         assert by_name["sanitizer_off_throughput"]["enforced"]
+        assert by_name["placement_speedup"]["enforced"]
+        assert by_name["commit_batch_speedup"]["enforced"]
+        assert by_name["commit_batch_identical"]["enforced"]
+        assert not by_name["paper_scale_shape"]["enforced"]
         assert not by_name["resync_speedup"]["enforced"]
         assert not by_name["tracing_noop_throughput"]["enforced"]
         assert not by_name["parallel_speedup"]["enforced"]
         for expectation in smoke_results["expectations"]:
             if not expectation["enforced"]:
                 assert expectation["reason"]
+
+    def test_smoke_floors_are_lower_than_full_floors(self):
+        assert bench.PLACEMENT_SPEEDUP_FLOOR_SMOKE <= bench.PLACEMENT_SPEEDUP_FLOOR
+        assert (
+            bench.COMMIT_BATCH_SPEEDUP_FLOOR_SMOKE
+            <= bench.COMMIT_BATCH_SPEEDUP_FLOOR
+        )
+
+    def test_full_mode_requires_paper_scale_shape(self, smoke_results):
+        results = copy.deepcopy(smoke_results)
+        results["smoke"] = False
+        by_name = {
+            e["name"]: e for e in bench.evaluate_expectations(results)
+        }
+        shape = by_name["paper_scale_shape"]
+        assert shape["enforced"]
+        assert not shape["passed"]  # smoke sizes cannot claim the proof
 
 
 class TestGate:
@@ -133,6 +175,10 @@ class TestGate:
         # Pin the other full-mode floors so only parallel_speedup varies.
         results["benchmarks"]["snapshot_resync"]["speedup"] = 2.0
         results["benchmarks"]["tracing_overhead"]["noop_throughput_ratio"] = 1.0
+        results["benchmarks"]["placement_pack"]["speedup"] = 6.0
+        results["benchmarks"]["commit_batch"]["speedup"] = 4.0
+        results["benchmarks"]["paper_scale"]["machines"] = 10_000
+        results["benchmarks"]["paper_scale"]["horizon_days"] = 3.0
         results["benchmarks"]["sweep_serial_parallel"]["speedup"] = 1.1
         results["expectations"] = bench.evaluate_expectations(results)
         assert any("parallel_speedup" in f for f in bench.gate(results))
@@ -228,3 +274,70 @@ class TestRender:
         assert main(["bench", "--smoke", "--output", str(out)]) == 0
         doc = load_json_artifact(out, require=("benchmarks", "machine"))
         assert doc["smoke"] is True
+
+
+class TestCompare:
+    def _saved(self, tmp_path, name, results):
+        from repro.recovery.artifacts import write_json_artifact
+
+        path = tmp_path / name
+        write_json_artifact(path, results)
+        return str(path)
+
+    def test_render_compare_delta_table(self, smoke_results):
+        new = copy.deepcopy(smoke_results)
+        new["benchmarks"]["placement_pack"]["placements_per_s"] *= 2.0
+        table = bench.render_compare(smoke_results, new)
+        assert "placement_pack.placements_per_s" in table
+        assert "+100.0%" in table
+        assert "commit_batch.batch_claims_per_s" in table
+        assert "paper_scale.events_per_s" in table
+
+    def test_render_compare_notes_machine_mismatch(self, smoke_results):
+        new = copy.deepcopy(smoke_results)
+        new["machine"]["cpu_count"] = smoke_results["machine"]["cpu_count"] + 4
+        table = bench.render_compare(smoke_results, new)
+        assert "machine shapes differ" in table
+
+    def test_render_compare_notes_smoke_mismatch(self, smoke_results):
+        new = copy.deepcopy(smoke_results)
+        new["smoke"] = not smoke_results["smoke"]
+        table = bench.render_compare(smoke_results, new)
+        assert "smoke modes differ" in table
+
+    def test_cli_compare_exit_zero(self, tmp_path, capsys, smoke_results):
+        from repro.experiments.cli import main
+
+        old = self._saved(tmp_path, "old.json", smoke_results)
+        new = self._saved(tmp_path, "new.json", smoke_results)
+        assert main(["bench", "--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot_resync.speedup" in out
+        assert "+0.0%" in out
+
+    def test_cli_compare_missing_input_exits_two(self, tmp_path, capsys, smoke_results):
+        from repro.experiments.cli import main
+
+        old = self._saved(tmp_path, "old.json", smoke_results)
+        rc = main(["bench", "--compare", old, str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "omega-sim bench:" in capsys.readouterr().err
+
+    def test_cli_compare_corrupt_input_exits_two(self, tmp_path, capsys, smoke_results):
+        from repro.experiments.cli import main
+
+        new = self._saved(tmp_path, "new.json", smoke_results)
+        corrupt = tmp_path / "old.json"
+        corrupt.write_text("{truncated")
+        rc = main(["bench", "--compare", str(corrupt), new])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_cli_compare_schema_invalid_exits_two(self, tmp_path, capsys, smoke_results):
+        from repro.experiments.cli import main
+
+        new = self._saved(tmp_path, "new.json", smoke_results)
+        invalid = self._saved(tmp_path, "old.json", {"machine": {}})
+        rc = main(["bench", "--compare", invalid, new])
+        assert rc == 2
+        assert "benchmarks" in capsys.readouterr().err
