@@ -224,6 +224,23 @@ def _representative_experiment(
             seed=seed,
             jobs=jobs,
         )
+    if name == "conflict-avoidance":
+        # The predictor-on paths: contention-score updates from the
+        # commit hook, hot-machine placement steering, predictive
+        # escalation, predictor crash-resets under chaos, and the
+        # predict.* trace events must all replay exactly — and the
+        # predictor-off half of the grid re-proves the off path is
+        # byte-stable in the same run.
+        from repro.experiments.conflict_avoidance import conflict_avoidance_rows
+
+        return lambda jobs=1: conflict_avoidance_rows(
+            factors=(4.0,),
+            intensities=(0.0, 5.0),
+            scale=scale,
+            horizon=horizon,
+            seed=seed,
+            jobs=jobs,
+        )
     raise ValueError(f"unknown experiment: {name!r}")
 
 
@@ -236,11 +253,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--experiment",
-        choices=("fig5c", "fig8", "fig14", "resilience"),
+        choices=("fig5c", "fig8", "fig14", "resilience", "conflict-avoidance"),
         default="fig8",
         help="representative experiment to double-run (default: fig8); "
         "'resilience' double-runs a fault-injected sweep so the chaos "
-        "engine and retry policies are themselves gated",
+        "engine and retry policies are themselves gated; "
+        "'conflict-avoidance' double-runs a predictor-on/off sweep so "
+        "the predictive steering and escalation paths are gated too",
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     parser.add_argument(

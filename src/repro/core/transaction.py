@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
@@ -145,6 +146,7 @@ def commit(
     snapshot: CellSnapshot,
     conflict_mode: ConflictMode = ConflictMode.FINE,
     commit_mode: CommitMode = CommitMode.INCREMENTAL,
+    on_conflict: Callable[[int, int, str], None] | None = None,
 ) -> CommitResult:
     """Attempt to commit a transaction's claims to the master cell state.
 
@@ -155,6 +157,15 @@ def commit(
     overcommitted machine are accepted") were applied and which were
     rejected. Accepted claims are applied atomically: an all-or-nothing
     transaction that fails leaves the master copy untouched.
+
+    ``on_conflict`` is the conflict-predictor feed (see
+    :mod:`repro.faults.predictor`): called as ``(machine, tasks,
+    cause)`` for every fine-grained rejection, at exactly the points the
+    ``txn.conflict`` trace events fire — machine-by-machine from the
+    batched ``_batch_validate`` masks on the array path, and from the
+    scalar checks below the batch threshold — but independent of
+    whether tracing is enabled. ``None`` (the default) leaves the
+    commit path byte-identical to the hook-free kernel.
     """
     if not claims:
         return CommitResult(accepted=(), rejected=())
@@ -214,6 +225,8 @@ def commit(
             # Coarse-grained: any change to the machine since sync is a
             # conflict, even if the claim would still fit.
             rejected.append(claim)
+            if on_conflict is not None:
+                on_conflict(claim.machine, claim.count, "stale_sequence")
             if tracing:
                 rec.event(
                     "txn.conflict",
@@ -236,6 +249,8 @@ def commit(
             rejected.append(replace(claim, count=claim.count - ok))
             if granted is not None:
                 granted.append((position, ok))
+            if on_conflict is not None:
+                on_conflict(claim.machine, claim.count - ok, "partial_capacity")
             if tracing:
                 rec.event(
                     "txn.conflict",
@@ -245,6 +260,8 @@ def commit(
                 )
         else:
             rejected.append(claim)
+            if on_conflict is not None:
+                on_conflict(claim.machine, claim.count, "capacity")
             if tracing:
                 rec.event(
                     "txn.conflict",

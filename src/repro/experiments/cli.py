@@ -54,6 +54,7 @@ from repro.analysis import cli as lint
 from repro.analysis import sanitizer as _san
 from repro.obs import timeline as obs_timeline
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
+from repro.experiments import conflict_avoidance as conflict_avoidance_experiments
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
 from repro.experiments import resilience as resilience_experiments
@@ -134,6 +135,7 @@ def _cmd_omega(args) -> list[dict]:
         cluster=args.cluster,
         rate_factor=args.rate_factor,
         smoke=args.smoke,
+        predictor=args.predictor,
         **_scaled_kwargs(args),
     )
 
@@ -215,7 +217,22 @@ def _cmd_resilience(args) -> list[dict]:
         )
     intensities = tuple(float(value) for value in args.intensities.split(","))
     return resilience_experiments.resilience_rows(
-        intensities=intensities, policy=args.policy, **_scaled_kwargs(args)
+        intensities=intensities,
+        policy=args.policy,
+        predictor=args.predictor,
+        **_scaled_kwargs(args),
+    )
+
+
+def _cmd_conflict_avoidance(args) -> list[dict]:
+    if args.smoke:
+        return conflict_avoidance_experiments.conflict_avoidance_smoke_rows(
+            seed=args.seed, jobs=args.jobs
+        )
+    factors = tuple(float(value) for value in args.factors.split(","))
+    intensities = tuple(float(value) for value in args.intensities.split(","))
+    return conflict_avoidance_experiments.conflict_avoidance_rows(
+        factors=factors, intensities=intensities, **_scaled_kwargs(args)
     )
 
 
@@ -268,6 +285,11 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
         _cmd_resilience,
         "fault-injected degradation: architecture x fault intensity",
     ),
+    "conflict-avoidance": (
+        _cmd_conflict_avoidance,
+        "predictive conflict avoidance: predictor on/off x operating "
+        "point x fault intensity",
+    ),
     "validate": (_cmd_validate, "sanity-check the cluster presets"),
 }
 
@@ -292,6 +314,7 @@ JOBS_COMMANDS = frozenset(
         "ablation-backoff",
         "ablation-placement",
         "resilience",
+        "conflict-avoidance",
     }
 )
 
@@ -466,6 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
                 help="CI smoke variant: 5%% cell, 30 simulated minutes "
                 "(ignores --scale/--hours)",
             )
+            sub.add_argument(
+                "--predictor",
+                action="store_true",
+                help="enable predictive conflict avoidance: contention-"
+                "aware placement steering plus the predictive "
+                "escalation retry policy (see docs/RESILIENCE.md)",
+            )
         if name == "resilience":
             sub.add_argument(
                 "--intensities",
@@ -488,6 +518,38 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="CI smoke variant: tiny cell, short horizon, two "
                 "intensities, starvation-escalation policy",
+            )
+            sub.add_argument(
+                "--predictor",
+                action="store_true",
+                help="also steer placement with a conflict predictor "
+                "(independent of --policy; --policy predictive implies "
+                "it)",
+            )
+        if name == "conflict-avoidance":
+            sub.add_argument(
+                "--factors",
+                default=",".join(
+                    str(value)
+                    for value in conflict_avoidance_experiments.DEFAULT_FACTORS
+                ),
+                help="comma-separated relative batch arrival-rate factors "
+                "(Figure-8 operating points)",
+            )
+            sub.add_argument(
+                "--intensities",
+                default=",".join(
+                    str(value)
+                    for value in conflict_avoidance_experiments.DEFAULT_INTENSITIES
+                ),
+                help="comma-separated fault-intensity multipliers over the "
+                "resilience baseline mix (0 = fault-free)",
+            )
+            sub.add_argument(
+                "--smoke",
+                action="store_true",
+                help="CI smoke variant: tiny cell, short horizon, one "
+                "operating point, predictor on and off",
             )
 
     lint_parser = subparsers.add_parser(
@@ -675,9 +737,18 @@ def _manifest_parameters(args: argparse.Namespace) -> dict:
         parameters["cluster"] = args.cluster
         parameters["rate_factor"] = args.rate_factor
         parameters["smoke"] = bool(args.smoke)
+        # Only recorded when on, so pre-predictor checkpoints resume.
+        if getattr(args, "predictor", False):
+            parameters["predictor"] = True
     if args.command == "resilience":
         parameters["intensities"] = getattr(args, "intensities", "")
         parameters["policy"] = getattr(args, "policy", "")
+        parameters["smoke"] = bool(getattr(args, "smoke", False))
+        if getattr(args, "predictor", False):
+            parameters["predictor"] = True
+    if args.command == "conflict-avoidance":
+        parameters["factors"] = getattr(args, "factors", "")
+        parameters["intensities"] = getattr(args, "intensities", "")
         parameters["smoke"] = bool(getattr(args, "smoke", False))
     return parameters
 

@@ -22,6 +22,7 @@ from repro.core.scheduler import OmegaScheduler
 from repro.core.scheduler_preempting import PreemptingOmegaScheduler
 from repro.core.transaction import CommitMode, ConflictMode
 from repro.faults import CellStateInvariantChecker, ChaosEngine, FaultConfig
+from repro.faults.predictor import ConflictPredictor, PredictorConfig
 from repro.faults.retry import RetryPolicy, RetryPolicyConfig
 from repro.metrics import MetricsCollector
 from repro.metrics.results import RunSummary
@@ -90,6 +91,13 @@ class LightweightConfig:
     #: named random stream. ``None`` keeps the historical immediate
     #: front-of-queue retry untouched.
     retry_policy: RetryPolicyConfig | None = None
+    #: Omega only: predictive conflict avoidance
+    #: (:mod:`repro.faults.predictor`). ``None`` disables the predictor
+    #: entirely — every placement/commit/trace code path stays
+    #: byte-identical to a predictor-free build. Auto-enabled with
+    #: defaults when ``retry_policy.kind == "predictive"`` (the policy
+    #: is meaningless without the shared predictor instance).
+    predictor: PredictorConfig | None = None
     #: Run a :class:`~repro.faults.CellStateInvariantChecker` every this
     #: many seconds during the run; ``None`` disables continuous checks.
     invariant_check_interval: float | None = None
@@ -117,6 +125,14 @@ class LightweightConfig:
             raise ValueError(
                 "invariant_check_interval must be positive, got "
                 f"{self.invariant_check_interval}"
+            )
+        if (
+            self.predictor is None
+            and self.retry_policy is not None
+            and self.retry_policy.kind == "predictive"
+        ):
+            self.predictor = PredictorConfig(
+                escalate_probability=self.retry_policy.escalate_probability
             )
         if self.timeline_interval is None:
             self.timeline_interval = _timeline.default_interval()
@@ -316,17 +332,37 @@ class LightweightSimulation:
         self.batch_scheduler_names = [batch.name]
         self.service_scheduler_names = [service.name]
 
-    def _retry_policy(self, scheduler_name: str) -> RetryPolicy | None:
+    def _retry_policy(
+        self,
+        scheduler_name: str,
+        predictor: ConflictPredictor | None = None,
+    ) -> RetryPolicy | None:
         """Build the configured retry policy for one Omega scheduler.
 
         Each scheduler gets its own named random stream so jittered
         backoff draws are independent of every other stochastic process
         in the run (the determinism discipline of ``repro.sim.random``).
+        ``predictor`` is the scheduler's own conflict predictor; the
+        ``predictive`` policy shares it so escalation decisions read the
+        same contention model that placement steering writes.
         """
         config = self.config.retry_policy
         if config is None:
             return None
-        return config.build(self.streams.stream(f"retry.{scheduler_name}"))
+        return config.build(
+            self.streams.stream(f"retry.{scheduler_name}"), predictor=predictor
+        )
+
+    def _predictor(self) -> ConflictPredictor | None:
+        """Build one scheduler's conflict predictor (None when disabled).
+
+        Per-scheduler, never shared between schedulers: the paper's
+        schedulers share nothing but the cell state, and each one's
+        contention model must crash (and reset) with it alone.
+        """
+        if self.config.predictor is None:
+            return None
+        return ConflictPredictor(self.config.predictor)
 
     def _build_omega(self) -> None:
         state = CellState(self.cell)
@@ -344,6 +380,7 @@ class LightweightSimulation:
                 if config.num_batch_schedulers > 1
                 else "omega-batch"
             )
+            predictor = self._predictor()
             batch_schedulers.append(
                 OmegaScheduler(
                     name,
@@ -359,7 +396,8 @@ class LightweightSimulation:
                     ledger=ledger,
                     conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
                     placement=placement,
-                    retry_policy=self._retry_policy(name),
+                    retry_policy=self._retry_policy(name, predictor),
+                    predictor=predictor,
                 )
             )
         pool = SchedulerPool(batch_schedulers)
@@ -377,6 +415,7 @@ class LightweightSimulation:
                 retry_policy=self._retry_policy("omega-service"),
             )
         else:
+            service_predictor = self._predictor()
             service = OmegaScheduler(
                 "omega-service",
                 self.sim,
@@ -390,7 +429,10 @@ class LightweightSimulation:
                 retry_conflicts_at_front=config.retry_conflicts_at_front,
                 conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
                 placement=placement,
-                retry_policy=self._retry_policy("omega-service"),
+                retry_policy=self._retry_policy(
+                    "omega-service", service_predictor
+                ),
+                predictor=service_predictor,
             )
         self.omega_pool = pool
         self.omega_service = service

@@ -1,0 +1,197 @@
+"""Conflict-avoidance experiment: predictor on/off under contention.
+
+``omega-sim conflict-avoidance`` measures what the predictive layer
+(:mod:`repro.faults.predictor`) buys: each point runs the same
+Figure-8-style Omega operating point (several gang-committing batch
+schedulers at a swept arrival-rate factor) twice — once with the
+reactive ``starvation`` retry policy (predictor **off**, the PR-4
+baseline) and once with the ``predictive`` policy plus contention-aware
+placement steering (predictor **on**) — across ``resilience``-style
+fault intensities. Rows report the paper's headline metrics plus the
+predictor counters, and every predictor-on row carries the deltas
+against its own off twin:
+
+* ``d_conflict`` — change in batch conflict fraction (conflicts per
+  scheduled job);
+* ``d_wasted`` — change in wasted work, measured as busyness minus the
+  Figure-12c "no conflicts" productive busyness (conflict-retry rework
+  as a busy fraction);
+* ``d_abandoned`` — change in abandoned jobs.
+
+Negative deltas mean the predictor helped. Gang commits
+(``ALL_OR_NOTHING``) are used at every point so the predictive
+escalation path is live — escalating an incremental job is a no-op.
+
+The off rows install no predictor object at all, so they exercise the
+byte-identical predictor-off code path the determinism gates protect;
+the on/off pairing shares one master seed per point, so the deltas are
+attributable to the predictor alone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.transaction import CommitMode
+from repro.experiments.common import LightweightSimulation
+from repro.experiments.resilience import BASELINE_FAULTS
+from repro.experiments.sweeps import (
+    SweepPoint,
+    batch_load_points,
+    point_label,
+    result_row,
+)
+from repro.faults import FaultConfig
+from repro.faults.retry import RetryPolicyConfig
+from repro.perf.parallel import parallel_map
+
+#: Figure-8 operating points (relative lambda(batch)) swept by default:
+#: one around cluster B's knee and one past it, where section 3.6 says
+#: optimistic concurrency starts collapsing into retry storms.
+DEFAULT_FACTORS = (4.0, 8.0)
+
+#: Fault-intensity multipliers over the resilience baseline mix: the
+#: fault-free operating points plus the hostile regime the acceptance
+#: gate measures (intensity >= 5).
+DEFAULT_INTENSITIES = (0.0, 5.0)
+
+DEFAULT_NUM_BATCH_SCHEDULERS = 4
+
+#: The delta columns attached to predictor-on rows (on minus off).
+DELTA_COLUMNS = ("d_conflict", "d_wasted", "d_abandoned")
+
+
+def conflict_avoidance_row(
+    sim: LightweightSimulation, result, **extra
+) -> dict:
+    """One sweep row: standard metrics plus predictor counters."""
+    row = result_row(result, **extra)
+    metrics = result.metrics
+    checker = sim.invariant_checker
+    row.update(
+        wasted_batch=result.busyness("batch")
+        - result.noconflict_busyness("batch"),
+        escalated=metrics.jobs_escalated_total,
+        steered=metrics.placements_steered_total,
+        steer_fallback=metrics.steer_fallback_tasks_total,
+        avoided=metrics.predict_conflicts_avoided_total,
+        incurred=metrics.predict_conflicts_incurred_total,
+        invariant_checks=(checker.checks_run if checker is not None else 0),
+    )
+    return row
+
+
+def _conflict_avoidance_point(point: SweepPoint) -> dict:
+    """Run one (predictor, factor, intensity) point (worker body)."""
+    config, extra = point
+    sim = LightweightSimulation(config)
+    result = sim.run()
+    sim.check_invariants()
+    return conflict_avoidance_row(sim, result, **extra)
+
+
+def conflict_avoidance_points(
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    num_batch_schedulers: int = DEFAULT_NUM_BATCH_SCHEDULERS,
+    scale: float = 0.2,
+    horizon: float = 2 * 3600.0,
+    seed: int = 3,
+    faults: FaultConfig = BASELINE_FAULTS,
+) -> list[SweepPoint]:
+    """The on/off x factor x intensity point grid, off rows first per
+    (factor, intensity) pair so :func:`attach_deltas` can pair them."""
+    points: list[SweepPoint] = []
+    for factor in factors:
+        for intensity in intensities:
+            for predictor_on in (False, True):
+                retry = RetryPolicyConfig(
+                    kind="predictive" if predictor_on else "starvation"
+                )
+                (config, extra), = batch_load_points(
+                    (factor,),
+                    cluster="B",
+                    num_batch_schedulers=num_batch_schedulers,
+                    horizon=horizon,
+                    seed=seed,
+                    scale=scale,
+                    commit_mode=CommitMode.ALL_OR_NOTHING,
+                    fault_config=faults.scaled(intensity),
+                    retry_policy=retry,
+                    invariant_check_interval=horizon / 8.0,
+                )
+                extra = {
+                    "predictor": "on" if predictor_on else "off",
+                    "rate_factor": extra["rate_factor"],
+                    "intensity": intensity,
+                }
+                points.append((config, extra))
+    return points
+
+
+def attach_deltas(rows: list[dict]) -> list[dict]:
+    """Add on-minus-off delta columns to every predictor-on row.
+
+    Rows are paired by (rate_factor, intensity); off rows carry the
+    columns too (as 0.0) so the text table renders one header set.
+    """
+    off_rows = {
+        (row["rate_factor"], row["intensity"]): row
+        for row in rows
+        if row["predictor"] == "off"
+    }
+    for row in rows:
+        if row["predictor"] != "on":
+            for column in DELTA_COLUMNS:
+                row[column] = 0.0
+            continue
+        off = off_rows.get((row["rate_factor"], row["intensity"]))
+        if off is None:  # pragma: no cover - grid always emits pairs
+            continue
+        row["d_conflict"] = row["conflict_batch"] - off["conflict_batch"]
+        row["d_wasted"] = row["wasted_batch"] - off["wasted_batch"]
+        row["d_abandoned"] = row["abandoned"] - off["abandoned"]
+    return rows
+
+
+def conflict_avoidance_rows(
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    num_batch_schedulers: int = DEFAULT_NUM_BATCH_SCHEDULERS,
+    scale: float = 0.2,
+    horizon: float = 2 * 3600.0,
+    seed: int = 3,
+    faults: FaultConfig = BASELINE_FAULTS,
+    jobs: int = 1,
+) -> list[dict]:
+    """The predictor on/off degradation table (see module docstring)."""
+    points = conflict_avoidance_points(
+        factors=factors,
+        intensities=intensities,
+        num_batch_schedulers=num_batch_schedulers,
+        scale=scale,
+        horizon=horizon,
+        seed=seed,
+        faults=faults,
+    )
+    rows = parallel_map(
+        _conflict_avoidance_point,
+        points,
+        jobs=jobs,
+        labels=[point_label(extra) for _, extra in points],
+    )
+    return attach_deltas(rows)
+
+
+def conflict_avoidance_smoke_rows(seed: int = 3, jobs: int = 1) -> list[dict]:
+    """The CI smoke variant: tiny cell, short horizon, one operating
+    point, fault-free plus intensity 5 — the predictor-on and -off
+    paths, steering, escalation and chaos interplay all execute."""
+    return conflict_avoidance_rows(
+        factors=(4.0,),
+        intensities=(0.0, 5.0),
+        scale=0.05,
+        horizon=1800.0,
+        seed=seed,
+        jobs=jobs,
+    )

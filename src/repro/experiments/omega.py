@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.transaction import CommitMode, ConflictMode
 from repro.experiments.common import DAY
+from repro.faults.retry import RetryPolicyConfig
 from repro.experiments.sweeps import (
     DEFAULT_SWEEP_CLUSTERS,
     batch_load_points,
@@ -82,6 +83,7 @@ def single_run_rows(
     cluster: str = "B",
     rate_factor: float = 1.0,
     smoke: bool = False,
+    predictor: bool = False,
     horizon: float = DAY,
     seed: int = 0,
     scale: float = 1.0,
@@ -95,12 +97,24 @@ def single_run_rows(
     ``--timeline-interval``) and inspecting it with ``omega-sim trace``
     / ``perfetto`` / ``report``. ``smoke`` is the CI variant: a 5%
     cell for 30 simulated minutes, ignoring ``scale``/``horizon``.
+    ``predictor`` turns on predictive conflict avoidance (contention-
+    aware placement steering plus the ``predictive`` escalation policy,
+    see :mod:`repro.faults.predictor`); off, the run is byte-identical
+    to a build without the predictor.
     """
     if smoke:
         scale = 0.05
         horizon = 1800.0
+    config_kwargs = {}
+    if predictor:
+        config_kwargs["retry_policy"] = RetryPolicyConfig(kind="predictive")
     points = batch_load_points(
-        (rate_factor,), cluster=cluster, horizon=horizon, seed=seed, scale=scale
+        (rate_factor,),
+        cluster=cluster,
+        horizon=horizon,
+        seed=seed,
+        scale=scale,
+        **config_kwargs,
     )
     return run_sweep(points, jobs=jobs)
 

@@ -26,7 +26,7 @@ from typing import Sequence
 
 from repro.experiments.common import LightweightConfig, LightweightSimulation
 from repro.experiments.sweeps import SweepPoint, point_label, result_row
-from repro.faults import FaultConfig
+from repro.faults import FaultConfig, PredictorConfig
 from repro.faults.retry import RetryPolicyConfig
 from repro.perf.parallel import parallel_map
 from repro.workload.clusters import CLUSTER_B
@@ -68,6 +68,12 @@ def resilience_row(sim: LightweightSimulation, result, **extra) -> dict:
         commit_drops=metrics.commits_dropped_total,
         escalated=metrics.jobs_escalated_total,
         abandoned_conflict=metrics.abandoned_for_reason("conflict-cap"),
+        # Predictor-on columns (zero on predictor-off rows and for the
+        # non-Omega architectures): steered placement attempts and the
+        # steered-commit outcome split (see repro.faults.predictor).
+        steered=metrics.placements_steered_total,
+        avoided=metrics.predict_conflicts_avoided_total,
+        incurred=metrics.predict_conflicts_incurred_total,
         invariant_checks=(checker.checks_run if checker is not None else 0),
     )
     return row
@@ -90,6 +96,7 @@ def resilience_rows(
     intensities: Sequence[float] = DEFAULT_INTENSITIES,
     architectures: Sequence[str] = RESILIENCE_ARCHITECTURES,
     policy: str | None = "immediate",
+    predictor: bool = False,
     scale: float = 0.2,
     horizon: float = 2 * 3600.0,
     seed: int = 3,
@@ -103,7 +110,12 @@ def resilience_rows(
     built-in default). The default "immediate" policy reproduces the
     historical retry behavior exactly, which keeps the intensity-0 rows
     byte-identical to the fault-free experiments; pass "backoff" or
-    "starvation" to study the section 3.6 remedies under fault load.
+    "starvation" to study the section 3.6 remedies under fault load, or
+    "predictive" for the proactive escalation driven by the conflict
+    predictor. ``predictor`` additionally turns on contention-aware
+    placement steering for the Omega rows regardless of ``policy``
+    (``policy="predictive"`` implies it); the ``steered`` /
+    ``avoided`` / ``incurred`` columns then report what steering did.
 
     Every point shares one master seed so the fault-free workload is
     identical across the whole table — degradation is attributable to
@@ -111,6 +123,7 @@ def resilience_rows(
     """
     preset = CLUSTER_B.scaled(scale)
     retry = RetryPolicyConfig(kind=policy) if policy is not None else None
+    predictor_config = PredictorConfig() if predictor else None
     points: list[SweepPoint] = []
     for architecture in architectures:
         for intensity in intensities:
@@ -121,6 +134,7 @@ def resilience_rows(
                 seed=seed,
                 fault_config=faults.scaled(intensity),
                 retry_policy=retry,
+                predictor=predictor_config,
                 invariant_check_interval=horizon / 8.0,
             )
             points.append(

@@ -238,8 +238,89 @@ class StarvationEscalationPolicy(RetryPolicy):
         return decision
 
 
+class PredictiveEscalationPolicy(RetryPolicy):
+    """Predictive gang→incremental escalation (proactive section 3.6).
+
+    :class:`StarvationEscalationPolicy` waits for a job to personally
+    rack up ``escalate_after`` conflicts before dropping its gang
+    semantics; this policy additionally consults the scheduler's
+    :class:`~repro.faults.predictor.ConflictPredictor` and escalates as
+    soon as the *predicted* conflict probability crosses
+    ``escalate_probability`` — the job escalates on its first conflict
+    if the commit path is already known-contended, before starving. The
+    reactive ``escalate_after`` trigger is kept as a backstop, so the
+    policy is never *later* to escalate than the starvation baseline:
+    in a quiet cell (predictor cold, probability near zero) the two
+    behave identically, and under contention the predictive trigger
+    fires first. Backoff delays and the hard conflict cap come from the
+    same machinery as the reactive policies, so the two are directly
+    comparable in the escalation-latency histogram
+    (``jobs.attempts_until_escalation`` in ``run.metrics``).
+
+    Like the other four policies it is a deterministic function of (job
+    state, predictor state, its own RNG stream), and the whole object —
+    predictor included — pickles across ``--jobs N`` workers.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        predictor: "ConflictPredictor | None" = None,
+        escalate_probability: float = 0.25,
+        escalate_after: int = 3,
+        base_delay: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 30.0,
+        jitter: float = 0.5,
+        max_conflict_retries: int = 100,
+    ) -> None:
+        if not 0.0 < escalate_probability <= 1.0:
+            raise ValueError(
+                "escalate_probability must be in (0, 1], got "
+                f"{escalate_probability}"
+            )
+        if escalate_after < 1:
+            raise ValueError(f"escalate_after must be >= 1, got {escalate_after}")
+        self.predictor = predictor
+        self.escalate_probability = escalate_probability
+        self.escalate_after = escalate_after
+        self._backoff = ExponentialBackoffPolicy(
+            rng,
+            base_delay=base_delay,
+            factor=factor,
+            max_delay=max_delay,
+            jitter=jitter,
+            max_conflict_retries=max_conflict_retries,
+        )
+        self.max_conflict_retries = max_conflict_retries
+
+    def decide(self, job: Job) -> RetryDecision:
+        decision = self._backoff.decide(job)
+        if decision.action is RetryAction.ABANDON:
+            return decision
+        if not job.escalated:
+            predicted = (
+                self.predictor.conflict_probability()
+                if self.predictor is not None
+                else 0.0
+            )
+            if (
+                predicted >= self.escalate_probability
+                or job.conflicts >= self.escalate_after
+            ):
+                return RetryDecision(
+                    action=RetryAction.RETRY,
+                    delay=decision.delay,
+                    at_front=decision.at_front,
+                    escalate=True,
+                )
+        return decision
+
+
 #: Policy names accepted by :class:`RetryPolicyConfig` and the CLI.
-RETRY_POLICIES = ("immediate", "capped", "backoff", "starvation")
+RETRY_POLICIES = ("immediate", "capped", "backoff", "starvation", "predictive")
 
 
 @dataclass(frozen=True)
@@ -258,6 +339,10 @@ class RetryPolicyConfig:
     max_delay: float = 60.0
     jitter: float = 0.5
     escalate_after: int = 3
+    #: ``predictive`` only: predicted conflict probability at which a
+    #: gang job escalates to incremental commits (the reactive
+    #: ``escalate_after`` trigger is kept as a backstop).
+    escalate_probability: float = 0.25
 
     def __post_init__(self) -> None:
         if self.kind not in RETRY_POLICIES:
@@ -265,9 +350,20 @@ class RetryPolicyConfig:
                 f"unknown retry policy {self.kind!r}; choose from {RETRY_POLICIES}"
             )
 
-    def build(self, rng: np.random.Generator) -> RetryPolicy:
+    def build(
+        self,
+        rng: np.random.Generator,
+        predictor: "ConflictPredictor | None" = None,
+    ) -> RetryPolicy:
         """Build the policy, drawing jitter from ``rng`` (a named
-        :class:`~repro.sim.random.RandomStreams` stream)."""
+        :class:`~repro.sim.random.RandomStreams` stream).
+
+        ``predictor`` is the owning scheduler's
+        :class:`~repro.faults.predictor.ConflictPredictor`; only the
+        ``predictive`` policy consumes it (the builders in
+        :mod:`repro.experiments.common` share one predictor instance
+        between a scheduler's placement steering and its retry policy).
+        """
         if self.kind == "immediate":
             return ImmediateRetryPolicy()
         if self.kind == "capped":
@@ -282,6 +378,18 @@ class RetryPolicyConfig:
                 max_delay=self.max_delay,
                 jitter=self.jitter,
                 max_conflict_retries=self.max_conflict_retries,
+            )
+        if self.kind == "predictive":
+            return PredictiveEscalationPolicy(
+                rng,
+                predictor=predictor,
+                escalate_probability=self.escalate_probability,
+                escalate_after=self.escalate_after,
+                base_delay=self.base_delay,
+                factor=self.factor,
+                max_delay=self.max_delay,
+                jitter=self.jitter,
+                max_conflict_retries=self.max_conflict_retries or 100,
             )
         return StarvationEscalationPolicy(
             rng,

@@ -50,6 +50,18 @@ class SchedulerMetrics:
     #: Jobs switched to incremental commit mode by a
     #: starvation-escalation retry policy (paper section 3.6).
     jobs_escalated: int = 0
+    #: Predictive conflict avoidance (see :mod:`repro.faults.predictor`):
+    #: attempts whose placement was steered away from predicted-hot
+    #: machines, and how many tasks the work-conserving fallback had to
+    #: put on hot machines anyway.
+    placements_steered: int = 0
+    steer_fallback_tasks: int = 0
+    #: Commit outcomes split by whether the attempt was steered: a
+    #: steered commit that lands clean is an *avoided* conflict
+    #: (prediction acted and no conflict materialized); a steered commit
+    #: that still conflicts is an *incurred* one.
+    predict_conflicts_avoided: int = 0
+    predict_conflicts_incurred: int = 0
 
 
 class MetricsCollector:
@@ -243,10 +255,61 @@ class MetricsCollector:
         self.schedulers[scheduler].commit_delay_seconds += delay
         self._counter("faults.commit_delay_seconds", scheduler).inc(delay)
 
-    def record_escalated(self, scheduler: str) -> None:
-        """A retry policy escalated one job to incremental commits."""
+    def record_escalated(
+        self, scheduler: str, attempts: int | None = None, policy: str | None = None
+    ) -> None:
+        """A retry policy escalated one job to incremental commits.
+
+        ``attempts`` is the job's attempt count at escalation time; it
+        feeds the per-policy escalation-latency histogram
+        (``jobs.attempts_until_escalation``), which is what makes
+        predictive escalation (early, on the model's forecast)
+        comparable against reactive starvation escalation (late, after
+        the job has personally conflicted ``escalate_after`` times).
+        """
         self.schedulers[scheduler].jobs_escalated += 1
         self._counter("jobs.escalated", scheduler).inc()
+        if attempts is not None:
+            self.registry.histogram(
+                "jobs.attempts_until_escalation",
+                scheduler=scheduler,
+                policy=policy or "none",
+            ).observe(float(attempts))
+
+    def record_steered(self, scheduler: str, fallback_tasks: int) -> None:
+        """One placement attempt was steered away from predicted-hot
+        machines; ``fallback_tasks`` tasks still landed on them via the
+        work-conserving fallback."""
+        if fallback_tasks < 0:
+            raise ValueError(f"fallback_tasks must be >= 0, got {fallback_tasks}")
+        metrics = self.schedulers[scheduler]
+        metrics.placements_steered += 1
+        metrics.steer_fallback_tasks += fallback_tasks
+        self._counter("predict.steered", scheduler).inc()
+        if fallback_tasks:
+            self._counter("predict.steer_fallback_tasks", scheduler).inc(
+                fallback_tasks
+            )
+
+    def record_predictor_commit(
+        self, scheduler: str, steered: bool, conflicted: bool
+    ) -> None:
+        """Attribute one predictor-on commit outcome.
+
+        Steered-and-clean counts as an avoided conflict, steered-but-
+        conflicted as an incurred one; unsteered commits are tracked only
+        in the registry (``predict.commits_unsteered``) for rate math.
+        """
+        metrics = self.schedulers[scheduler]
+        if steered:
+            if conflicted:
+                metrics.predict_conflicts_incurred += 1
+                self._counter("predict.conflicts_incurred", scheduler).inc()
+            else:
+                metrics.predict_conflicts_avoided += 1
+                self._counter("predict.conflicts_avoided", scheduler).inc()
+        else:
+            self._counter("predict.commits_unsteered", scheduler).inc()
 
     def record_preemption_caused(self, preemptor: str, tasks: int) -> None:
         """``preemptor`` evicted ``tasks`` lower-precedence tasks."""
@@ -373,6 +436,34 @@ class MetricsCollector:
     def jobs_escalated_total(self) -> int:
         return sum(
             metrics.jobs_escalated
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def placements_steered_total(self) -> int:
+        return sum(
+            metrics.placements_steered
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def steer_fallback_tasks_total(self) -> int:
+        return sum(
+            metrics.steer_fallback_tasks
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def predict_conflicts_avoided_total(self) -> int:
+        return sum(
+            metrics.predict_conflicts_avoided
+            for _, metrics in sorted(self.schedulers.items())
+        )
+
+    @property
+    def predict_conflicts_incurred_total(self) -> int:
+        return sum(
+            metrics.predict_conflicts_incurred
             for _, metrics in sorted(self.schedulers.items())
         )
 

@@ -13,6 +13,11 @@ Turns a stream of trace records (in memory or loaded from JSONL via
 * **retry chains** — the per-job sequence of attempts with outcomes,
   ranked by length, which is how you answer "*why* did job 17 take 14
   attempts?";
+* **contended machines** — the top-K machines by fine-grained
+  ``txn.conflict`` rejections (events, rejected tasks, and the
+  stale-sequence / partial-capacity / capacity cause split) — the
+  ground truth the :class:`repro.faults.predictor.ConflictPredictor`
+  hotness view estimates online;
 * **timeline series** — the ``timeline.*`` samples recorded by
   :mod:`repro.obs.timeline` (utilization, busy fraction, conflict
   rate over simulated time), grouped per run and per scheduler;
@@ -107,6 +112,9 @@ class TraceSummary:
         #: Wait-time (etc.) histograms merged from ``run.metrics``
         #: records, keyed by (metric name, sorted label items).
         self.histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
+        #: Per-machine ``txn.conflict`` tallies:
+        #: machine -> {"events", "tasks", "<cause>": events}.
+        self.machine_conflicts: dict[int, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -187,6 +195,19 @@ class TraceSummary:
                 )
         elif name == "txn.conflict" and sched is not None:
             self._sched(sched).conflict_claims += 1
+            machine = fields.get("machine")
+            if machine is not None:
+                entry = self.machine_conflicts.get(machine)
+                if entry is None:
+                    entry = self.machine_conflicts[machine] = {
+                        "events": 0,
+                        "tasks": 0,
+                    }
+                entry["events"] += 1
+                entry["tasks"] += int(fields.get("tasks") or 0)
+                cause = fields.get("cause")
+                if cause is not None:
+                    entry[cause] = entry.get(cause, 0) + 1
         elif name == "sched.busy" and sched is not None:
             start = fields.get("t0")
             if t is not None and start is not None:
@@ -280,6 +301,62 @@ class TraceSummary:
             )
         return rows
 
+    def escalation_rows(self) -> list[dict[str, Any]]:
+        """Per-(scheduler, policy) escalation-latency rows.
+
+        Sourced from the ``jobs.attempts_until_escalation`` histograms
+        each run's ``run.metrics`` record serializes: how many attempts
+        a job burned before its gang→incremental escalation, which is
+        how the reactive (``starvation``) and predictive policies are
+        compared head-to-head.
+        """
+        rows = []
+        for (name, label_items), histogram in sorted(self.histograms.items()):
+            if name != "jobs.attempts_until_escalation":
+                continue
+            labels = dict(label_items)
+            summary = histogram.summary()
+            rows.append(
+                {
+                    "scheduler": labels.get("scheduler", "?"),
+                    "policy": labels.get("policy", "?"),
+                    "escalations": summary["count"],
+                    "mean_attempts": summary["mean"],
+                    "p50": summary["p50"],
+                    "p90": summary["p90"],
+                    "max": summary["max"],
+                }
+            )
+        return rows
+
+    def contended_machine_rows(self, top_n: int = 10) -> list[dict[str, Any]]:
+        """The ``top_n`` machines by fine-grained conflict rejections.
+
+        Ranked by rejected tasks (events as the tie-break, machine id as
+        the final deterministic tie-break), with the cause split the
+        ``txn.conflict`` vocabulary defines. This is the *measured*
+        contention the predictor's decayed hotness view estimates
+        online — ``omega-sim trace`` on a predictor-on run shows how
+        well the two agree.
+        """
+        if top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        ranked = sorted(
+            self.machine_conflicts.items(),
+            key=lambda item: (-item[1]["tasks"], -item[1]["events"], item[0]),
+        )
+        return [
+            {
+                "machine": machine,
+                "events": entry["events"],
+                "tasks": entry["tasks"],
+                "stale_sequence": entry.get("stale_sequence", 0),
+                "partial_capacity": entry.get("partial_capacity", 0),
+                "capacity": entry.get("capacity", 0),
+            }
+            for machine, entry in ranked[:top_n]
+        ]
+
     def retry_chains(self, top_n: int = 5) -> list[JobSummary]:
         """The ``top_n`` jobs with the most attempts, longest first."""
         if top_n < 1:
@@ -350,6 +427,18 @@ class TraceSummary:
                     total = sum(count for _, count in timeline)
                     lines.append(f"  {name:<24} |{bars}| {total} conflicts")
 
+        escalations = self.escalation_rows()
+        if escalations:
+            lines.append("")
+            lines.append("escalation latency (attempts until gang→incremental):")
+            lines.append(_format_rows(escalations))
+
+        contended = self.contended_machine_rows()
+        if contended:
+            lines.append("")
+            lines.append("top contended machines (txn.conflict rejections):")
+            lines.append(_format_rows(contended))
+
         chains = [job for job in self.retry_chains(top_jobs) if job.attempts > 0]
         if chains:
             lines.append("")
@@ -412,6 +501,8 @@ class TraceSummary:
                 if self.schedulers[name].txn_conflicted
             },
             "retry_chains": chains,
+            "escalation_rows": self.escalation_rows(),
+            "contended_machines": self.contended_machine_rows(),
             "timeline": {
                 "cell": self.timeline_cell,
                 "schedulers": {

@@ -46,6 +46,16 @@ Eight benchmarks cover the hot paths this repository optimises:
     None`` guard every unsanitized run pays) must retain at least
     :data:`SANITIZER_OFF_FLOOR` of hook-free throughput — enforced even
     in smoke runs, since the guard's cost is size-independent.
+``predictor_overhead``
+    The Omega attempt hot path (snapshot placement + commit) with the
+    conflict-predictor hook sites compared against a hook-free replica
+    of the same arithmetic, and against a fully active
+    :class:`~repro.faults.predictor.ConflictPredictor` (hotness reads,
+    steering, conflict/commit observations). The off mode (the
+    ``predictor is None`` guards every predictor-off run pays) must
+    retain at least :data:`PREDICTOR_OFF_FLOOR` of hook-free throughput
+    — enforced even in smoke runs, since the guards' cost is
+    size-independent.
 ``sweep_serial_parallel``
     A reduced Figure 5c sweep run serially and with ``--jobs 4``
     through :mod:`repro.perf.parallel`. The rows must be byte-identical
@@ -127,6 +137,11 @@ NOOP_THROUGHPUT_FLOOR = 0.8
 #: this fraction of hook-free throughput (i.e. the ``ACTIVE is None``
 #: guards may cost unsanitized runs at most ~10%).
 SANITIZER_OFF_FLOOR = 0.9
+
+#: With no predictor installed, the attempt hot path must keep at least
+#: this fraction of hook-free throughput (i.e. the ``predictor is
+#: None`` guards may cost predictor-off runs at most ~10%).
+PREDICTOR_OFF_FLOOR = 0.9
 
 #: Relative tolerance for baseline regression comparisons.
 DEFAULT_TOLERANCE = 0.25
@@ -714,6 +729,135 @@ def bench_sanitizer_overhead(
 
 
 # ----------------------------------------------------------------------
+# predictor_overhead
+# ----------------------------------------------------------------------
+def bench_predictor_overhead(
+    num_machines: int = 2_000,
+    attempts: int = 5_000,
+    tasks_per_job: int = 10,
+    repeats: int = 3,
+) -> dict:
+    """Cost of the conflict-predictor hook sites on the attempt path.
+
+    Three modes run the same resync → place → commit schedule (the
+    :meth:`~repro.core.scheduler.OmegaScheduler.attempt` hot path):
+
+    * ``plain`` — a hook-free replica: placement and :func:`commit`
+      called directly, no predictor branches anywhere (what an attempt
+      cost before the predictor existed);
+    * ``off`` — the real guard shape with ``predictor=None``: the
+      hotness check before placement and the ``on_conflict``/
+      ``observe_commit`` guards around commit, all short-circuiting
+      (the cost every predictor-off run pays);
+    * ``on`` — an active :class:`~repro.faults.predictor.
+      ConflictPredictor` fed a synthetic contention stream, so every
+      attempt pays hotness reads, steered placement and the
+      conflict/commit observations.
+
+    ``off_throughput_ratio`` (off/plain, best interleaved round) must
+    stay at least :data:`PREDICTOR_OFF_FLOOR`; the guards' cost does
+    not depend on benchmark size, so the floor is enforced even in
+    smoke runs.
+    """
+    from repro.core.placement import placement_fn, steered_placement
+    from repro.core.transaction import commit
+    from repro.faults.predictor import ConflictPredictor, PredictorConfig
+
+    class _BenchJob:
+        """The three attributes the placement closures read."""
+
+        cpu_per_task = 0.05
+        mem_per_task = 0.2
+        unplaced_tasks = tasks_per_job
+
+    placement = placement_fn("random-first-fit")
+
+    def run(mode: str) -> float:
+        state = CellState(_bench_cell(num_machines))
+        view = state.snapshot(0.0)
+        # Fresh streams per run: plain and off execute the identical
+        # draw schedule, so the ratio isolates the guard cost.
+        rng = RandomStreams(5).stream("bench.predictor.pack")
+        predictor = (
+            ConflictPredictor(PredictorConfig()) if mode == "on" else None
+        )
+        job = _BenchJob()
+        nowref = [0.0]
+
+        def observe(machine: int, tasks: int, cause: str) -> None:
+            predictor.observe_conflict(machine, tasks, cause, nowref[0])
+
+        start = time.perf_counter()
+        for index in range(attempts):
+            now = nowref[0] = float(index)
+            view.resync(state)
+            if mode == "plain":
+                claims = placement(view, job, rng)
+                result = commit(state, claims, view)
+            else:
+                hot: tuple[int, ...] = ()
+                if predictor is not None:
+                    # Synthetic contention feed: keeps the hot set
+                    # populated against decay so steering stays live.
+                    predictor.observe_conflict(index % 16, 4, "capacity", now)
+                    hot = predictor.hot_machines(now)
+                if hot:
+                    claims, _ = steered_placement(placement, view, job, rng, hot)
+                else:
+                    claims = placement(view, job, rng)
+                result = commit(
+                    state,
+                    claims,
+                    view,
+                    on_conflict=(observe if predictor is not None else None),
+                )
+                if predictor is not None:
+                    predictor.observe_commit(bool(result.rejected), now)
+            for claim in result.accepted:
+                state.release(
+                    claim.machine, claim.cpu * claim.count, claim.mem * claim.count
+                )
+        elapsed = time.perf_counter() - start
+        assert state.used_cpu < 1.0
+        return elapsed
+
+    # Interleave the modes round-robin (see bench_sanitizer_overhead):
+    # the off/plain ratio is the enforced number and block-ordering bias
+    # would swamp the real guard cost.
+    modes = ("plain", "off", "on")
+    for mode in modes:
+        run(mode)  # warm-up: first-touch allocation and code caches
+    timings = {mode: float("inf") for mode in modes}
+    round_ratios = []
+    for _ in range(max(1, repeats)):
+        round_times = {mode: run(mode) for mode in modes}
+        for mode in modes:
+            timings[mode] = min(timings[mode], round_times[mode])
+        round_ratios.append(round_times["plain"] / round_times["off"])
+    rates = {
+        f"{mode}_attempts_per_s": (
+            attempts / wall_s if wall_s > 0 else float("inf")
+        )
+        for mode, wall_s in timings.items()
+    }
+    return {
+        "num_machines": num_machines,
+        "attempts": attempts,
+        "tasks_per_job": tasks_per_job,
+        **{f"{mode}_s": wall_s for mode, wall_s in timings.items()},
+        **rates,
+        # Best paired round, not min-of-runs — scheduling noise can only
+        # make the off mode look slower than it is.
+        "off_throughput_ratio": max(round_ratios),
+        "on_overhead_x": (
+            rates["plain_attempts_per_s"] / rates["on_attempts_per_s"]
+            if rates["on_attempts_per_s"] > 0
+            else float("inf")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # sweep_serial_parallel
 # ----------------------------------------------------------------------
 def bench_sweep_serial_parallel(
@@ -779,6 +923,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "sanitizer_overhead": bench_sanitizer_overhead(
                 num_machines=500, operations=50_000, repeats=3
             ),
+            "predictor_overhead": bench_predictor_overhead(
+                num_machines=500, attempts=2_000, repeats=3
+            ),
             "sweep_serial_parallel": bench_sweep_serial_parallel(
                 jobs=jobs, horizon=300.0, scale=0.05, t_jobs=(0.1, 10.0),
                 clusters=("A",),
@@ -793,6 +940,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "event_loop": bench_event_loop(),
             "tracing_overhead": bench_tracing_overhead(),
             "sanitizer_overhead": bench_sanitizer_overhead(),
+            "predictor_overhead": bench_predictor_overhead(),
             "sweep_serial_parallel": bench_sweep_serial_parallel(jobs=jobs),
         }
     results = {
@@ -927,6 +1075,20 @@ def evaluate_expectations(results: dict) -> list[dict]:
         }
     )
 
+    predictor = benchmarks["predictor_overhead"]
+    expectations.append(
+        {
+            "name": "predictor_off_throughput",
+            "value": predictor["off_throughput_ratio"],
+            "floor": PREDICTOR_OFF_FLOOR,
+            "passed": predictor["off_throughput_ratio"] >= PREDICTOR_OFF_FLOOR,
+            # The predictor-is-None guards' relative cost is independent
+            # of benchmark size, so this floor holds in smoke runs too.
+            "enforced": True,
+            "reason": None,
+        }
+    )
+
     sweep = benchmarks["sweep_serial_parallel"]
     expectations.append(
         {
@@ -968,6 +1130,7 @@ _THROUGHPUT_METRICS = {
     "event_loop": ("events_per_s",),
     "tracing_overhead": ("noop_events_per_s", "active_events_per_s"),
     "sanitizer_overhead": ("off_ops_per_s",),
+    "predictor_overhead": ("off_attempts_per_s",),
     "sweep_serial_parallel": ("speedup",),
 }
 
@@ -1078,6 +1241,14 @@ def render_report(results: dict) -> str:
         f"({sanitizer['off_throughput_ratio']:.2f}x), "
         f"on {sanitizer['on_ops_per_s']:.0f} "
         f"({sanitizer['on_overhead_x']:.2f}x slower)"
+    )
+    predictor = results["benchmarks"]["predictor_overhead"]
+    lines.append(
+        f"predictor_overhead: plain {predictor['plain_attempts_per_s']:.0f} "
+        f"attempts/s, off {predictor['off_attempts_per_s']:.0f} "
+        f"({predictor['off_throughput_ratio']:.2f}x), "
+        f"on {predictor['on_attempts_per_s']:.0f} "
+        f"({predictor['on_overhead_x']:.2f}x slower)"
     )
     sweep = results["benchmarks"]["sweep_serial_parallel"]
     identical = "identical" if sweep["identical_rows"] else "DIFFERENT"

@@ -379,7 +379,10 @@ class QueueScheduler(abc.ABC):
         repeatedly-conflicting jobs stop gang scheduling so partial
         progress lands). Schedulers honour the flag in attempt()."""
         job.escalated = True
-        self.metrics.record_escalated(self.name)
+        policy = self.retry_policy.name if self.retry_policy is not None else None
+        self.metrics.record_escalated(
+            self.name, attempts=job.attempts, policy=policy
+        )
         rec = _obs.RECORDER
         if rec.enabled:
             rec.event(
@@ -389,6 +392,7 @@ class QueueScheduler(abc.ABC):
                 job=job.job_id,
                 attempt=job.attempts,
                 conflicts=job.conflicts,
+                policy=policy,
             )
 
     def _start_tasks(self, state: CellState, job: Job, claims: tuple[Claim, ...] | list[Claim]) -> None:

@@ -1,0 +1,112 @@
+"""Property tests for contention-aware placement steering.
+
+:func:`repro.core.placement.steered_placement` claims to be a pure
+*reordering* of the candidate set: masking the predicted-hot machines
+must never change how many tasks get placed (work conservation), and
+the mask must be fully undone afterwards. Both properties are checked
+here against randomized cells, fills, and hot sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.placement import placement_fn, steered_placement
+from tests.conftest import make_job
+
+
+def _filled_state(num_machines: int, fills: list[float]) -> CellState:
+    state = CellState(Cell.homogeneous(num_machines, 4.0, 16.0))
+    for machine, fill in enumerate(fills[:num_machines]):
+        if fill > 0.0:
+            state.claim(machine, 4.0 * fill, 16.0 * fill)
+    return state
+
+
+@st.composite
+def steering_cases(draw):
+    num_machines = draw(st.integers(min_value=2, max_value=16))
+    fills = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.95),
+            min_size=num_machines,
+            max_size=num_machines,
+        )
+    )
+    hot = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_machines - 1),
+            unique=True,
+            min_size=1,
+            max_size=num_machines,
+        )
+    )
+    num_tasks = draw(st.integers(min_value=1, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    return num_machines, fills, tuple(hot), num_tasks, seed
+
+
+class TestSteeredPlacement:
+    @given(case=steering_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_work_conserving_and_mask_restored(self, case):
+        num_machines, fills, hot, num_tasks, seed = case
+        job = make_job(num_tasks=num_tasks, cpu=0.5, mem=1.0)
+        placement = placement_fn("random-first-fit")
+
+        unsteered_state = _filled_state(num_machines, fills)
+        unsteered_view = unsteered_state.snapshot(0.0)
+        unsteered = placement(
+            unsteered_view, job, np.random.default_rng(seed)
+        )
+
+        steered_state = _filled_state(num_machines, fills)
+        steered_view = steered_state.snapshot(0.0)
+        steered, fallback = steered_placement(
+            placement, steered_view, job, np.random.default_rng(seed), hot
+        )
+
+        # Work conservation: steering reorders, it never loses capacity.
+        assert sum(claim.count for claim in steered) == sum(
+            claim.count for claim in unsteered
+        )
+        # The mask is fully undone: the view matches an untouched twin.
+        assert np.array_equal(steered_view.free_cpu, unsteered_view.free_cpu)
+        assert np.array_equal(steered_view.free_mem, unsteered_view.free_mem)
+        # Hot machines appear only via the work-conserving fallback,
+        # and the fallback count is exactly what landed on them.
+        on_hot = sum(
+            claim.count for claim in steered if claim.machine in set(hot)
+        )
+        assert on_hot == fallback
+
+    @given(case=steering_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_hot_set_is_identity(self, case):
+        num_machines, fills, _, num_tasks, seed = case
+        job = make_job(num_tasks=num_tasks, cpu=0.5, mem=1.0)
+        placement = placement_fn("random-first-fit")
+        state = _filled_state(num_machines, fills)
+        view = state.snapshot(0.0)
+        plain = placement(view, job, np.random.default_rng(seed))
+        steered, fallback = steered_placement(
+            placement, view, job, np.random.default_rng(seed), ()
+        )
+        assert fallback == 0
+        assert steered == plain
+
+    def test_fallback_packs_coldest_hot_machine_first(self):
+        # Machines 0/1 are hot (0 the hotter); everything else is full,
+        # so the whole job lands on hot machines — coldest (1) first.
+        state = CellState(Cell.homogeneous(3, 4.0, 16.0))
+        state.claim(2, 4.0, 16.0)
+        view = state.snapshot(0.0)
+        job = make_job(num_tasks=8, cpu=0.5, mem=1.0)
+        placement = placement_fn("random-first-fit")
+        claims, fallback = steered_placement(
+            placement, view, job, np.random.default_rng(0), (0, 1)
+        )
+        assert fallback == 8
+        assert [claim.machine for claim in claims] == [1]

@@ -1,0 +1,248 @@
+"""Tests for the conflict predictor (:mod:`repro.faults.predictor`).
+
+Covers the properties the tentpole's design leans on: exponential-decay
+monotonicity on the simulated clock, determinism of the picklable state
+across ``--jobs N`` process boundaries, the crash/restart reset
+semantics, and the chaos-engine machine-failure hook.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cell
+from repro.core.cellstate import CellState
+from repro.core.scheduler import OmegaScheduler
+from repro.faults import (
+    ChaosEngine,
+    ConflictPredictor,
+    FaultConfig,
+    PredictorConfig,
+)
+from repro.metrics import MetricsCollector
+from repro.schedulers.base import DecisionTimeModel
+from repro.sim import RandomStreams, Simulator
+from tests.conftest import make_job
+
+
+def make_predictor(**kwargs) -> ConflictPredictor:
+    return ConflictPredictor(PredictorConfig(**kwargs))
+
+
+class TestPredictorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"halflife": 0.0},
+            {"halflife": -1.0},
+            {"top_k": 0},
+            {"hot_threshold": 0.0},
+            {"escalate_probability": 0.0},
+            {"escalate_probability": 1.5},
+            {"min_attempts": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PredictorConfig(**kwargs)
+
+    def test_defaults_valid_and_picklable(self):
+        config = PredictorConfig()
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestDecay:
+    @given(
+        weight=st.integers(min_value=1, max_value=100),
+        elapsed=st.floats(min_value=0.0, max_value=1e4),
+        later=st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_score_decays_monotonically(self, weight, elapsed, later):
+        predictor = make_predictor(halflife=60.0)
+        predictor.observe_conflict(3, weight, "capacity", now=0.0)
+        first = predictor.score(3, elapsed)
+        second = predictor.score(3, elapsed + later)
+        assert second <= first + 1e-12
+        assert second >= 0.0
+
+    def test_one_halflife_halves(self):
+        predictor = make_predictor(halflife=60.0)
+        predictor.observe_conflict(0, 8, "stale_sequence", now=0.0)
+        assert predictor.score(0, 0.0) == pytest.approx(8.0)
+        assert predictor.score(0, 60.0) == pytest.approx(4.0)
+        assert predictor.score(0, 120.0) == pytest.approx(2.0)
+
+    def test_observations_accumulate_with_decay(self):
+        predictor = make_predictor(halflife=60.0)
+        predictor.observe_conflict(0, 4, "capacity", now=0.0)
+        predictor.observe_conflict(0, 4, "capacity", now=60.0)
+        # 4 decayed to 2 over one half-life, plus the fresh 4.
+        assert predictor.score(0, 60.0) == pytest.approx(6.0)
+
+    def test_probability_ratio_invariant_under_time(self):
+        # Attempts and conflicts decay identically, so the estimate is
+        # a pure function of the observation history, not of "now".
+        predictor = make_predictor(min_attempts=1.0)
+        for index in range(8):
+            predictor.observe_commit(conflicted=(index % 2 == 0), now=index * 10.0)
+        before = predictor.conflict_probability()
+        predictor.score(0, 1e6)  # pure reads never advance the model
+        assert predictor.conflict_probability() == before
+
+
+class TestHotMachines:
+    def test_orders_hottest_first_with_id_tiebreak(self):
+        predictor = make_predictor(hot_threshold=1.0, top_k=8)
+        predictor.observe_conflict(5, 2, "capacity", now=0.0)
+        predictor.observe_conflict(9, 7, "capacity", now=0.0)
+        predictor.observe_conflict(2, 7, "capacity", now=0.0)
+        assert predictor.hot_machines(0.0) == (2, 9, 5)
+
+    def test_threshold_and_top_k(self):
+        predictor = make_predictor(hot_threshold=4.0, top_k=2)
+        for machine, weight in ((0, 8), (1, 6), (2, 5), (3, 1)):
+            predictor.observe_conflict(machine, weight, "capacity", now=0.0)
+        assert predictor.hot_machines(0.0) == (0, 1)
+        # After enough decay everything drops below the threshold.
+        assert predictor.hot_machines(1e5) == ()
+
+    def test_hot_machines_is_a_pure_read(self):
+        # The timeline sampler calls hot_machines(); sampling must not
+        # perturb scheduling, so the call may not mutate any state.
+        predictor = make_predictor()
+        predictor.observe_conflict(1, 5, "capacity", now=0.0)
+        predictor.observe_commit(True, now=0.0)
+        before = predictor.state()
+        predictor.hot_machines(500.0)
+        predictor.score(1, 500.0)
+        predictor.conflict_probability()
+        assert predictor.state() == before
+
+
+class TestConflictProbability:
+    def test_cold_model_reports_zero(self):
+        predictor = make_predictor(min_attempts=3.0)
+        predictor.observe_commit(True, now=0.0)
+        predictor.observe_commit(True, now=1.0)
+        assert predictor.conflict_probability() == 0.0
+
+    def test_warm_model_reports_ratio(self):
+        predictor = make_predictor(min_attempts=3.0, halflife=1e9)
+        for index in range(10):
+            predictor.observe_commit(conflicted=(index < 3), now=0.0)
+        assert predictor.conflict_probability() == pytest.approx(0.3)
+
+
+class TestDeterminismAcrossProcesses:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=1, max_value=16),
+                st.floats(min_value=0.0, max_value=1e3),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pickle_round_trip_preserves_behavior(self, ops):
+        # The --jobs N workers rebuild predictor state in their own
+        # process; a pickled predictor must continue bit-identically.
+        predictor = make_predictor()
+        now = 0.0
+        for machine, weight, dt in ops[: len(ops) // 2]:
+            now += dt
+            predictor.observe_conflict(machine, weight, "capacity", now)
+            predictor.observe_commit(weight % 2 == 0, now)
+        clone = pickle.loads(pickle.dumps(predictor))
+        assert clone.state() == predictor.state()
+        for machine, weight, dt in ops[len(ops) // 2 :]:
+            now += dt
+            for each in (predictor, clone):
+                each.observe_conflict(machine, weight, "capacity", now)
+                each.observe_commit(weight % 2 == 0, now)
+        assert clone.state() == predictor.state()
+        assert clone.hot_machines(now) == predictor.hot_machines(now)
+        assert clone.conflict_probability() == predictor.conflict_probability()
+
+
+class TestFaultHooks:
+    def test_machine_failure_drops_score(self):
+        predictor = make_predictor()
+        predictor.observe_conflict(4, 9, "capacity", now=0.0)
+        predictor.observe_conflict(5, 9, "capacity", now=0.0)
+        predictor.note_machine_failed(4)
+        assert predictor.score(4, 0.0) == 0.0
+        assert predictor.score(5, 0.0) == pytest.approx(9.0)
+
+    def test_reset_returns_to_just_built_state(self):
+        predictor = make_predictor()
+        predictor.observe_conflict(1, 3, "capacity", now=5.0)
+        predictor.observe_commit(True, now=5.0)
+        predictor.reset()
+        assert predictor.state() == make_predictor().state()
+        assert predictor.hot_machines(5.0) == ()
+
+    def _omega(self, sim, metrics, state, predictor):
+        return OmegaScheduler(
+            "omega",
+            sim,
+            metrics,
+            state,
+            np.random.default_rng(0),
+            DecisionTimeModel(t_job=0.1, t_task=0.0),
+            predictor=predictor,
+        )
+
+    def test_scheduler_crash_resets_predictor(self):
+        sim = Simulator()
+        metrics = MetricsCollector()
+        state = CellState(Cell.homogeneous(4, 4.0, 16.0))
+        predictor = make_predictor()
+        scheduler = self._omega(sim, metrics, state, predictor)
+        predictor.observe_conflict(2, 5, "capacity", now=0.0)
+        predictor.observe_commit(True, now=0.0)
+        scheduler.crash()
+        assert predictor.state() == make_predictor().state()
+        # A crash while already down must not double-reset anything
+        # (the guard is on the was-down transition).
+        scheduler.crash()
+        scheduler.restart()
+        predictor.observe_conflict(1, 2, "capacity", now=1.0)
+        assert predictor.conflicts_observed == 1
+
+    def test_chaos_machine_failure_notifies_predictors(self):
+        sim = Simulator()
+        metrics = MetricsCollector()
+        state = CellState(Cell.homogeneous(6, 4.0, 16.0))
+        predictor = make_predictor()
+        scheduler = self._omega(sim, metrics, state, predictor)
+        engine = ChaosEngine(
+            sim,
+            RandomStreams(7),
+            FaultConfig(machine_mtbf=1e9, machine_repair_time=10.0),
+            metrics,
+        )
+        engine.install([state], [scheduler], horizon=100.0)
+        predictor.observe_conflict(3, 5, "capacity", now=0.0)
+        engine._machine_failed(0, 3, killed=0)
+        assert predictor.score(3, 0.0) == 0.0
+
+    def test_crashed_scheduler_loses_queued_job_learning(self):
+        # End-to-end: a predictor wired into a live scheduler keeps
+        # learning from commits; after crash+restart it starts cold.
+        sim = Simulator()
+        metrics = MetricsCollector()
+        state = CellState(Cell.homogeneous(4, 4.0, 16.0))
+        predictor = make_predictor()
+        scheduler = self._omega(sim, metrics, state, predictor)
+        scheduler.submit(make_job(num_tasks=2, cpu=1.0, mem=1.0, duration=50.0))
+        sim.run(until=5.0)
+        assert predictor.commits_observed == 1
+        scheduler.crash()
+        assert predictor.commits_observed == 0

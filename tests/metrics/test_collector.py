@@ -140,3 +140,45 @@ class TestCounters:
     def test_invalid_period(self):
         with pytest.raises(ValueError):
             MetricsCollector(period=0.0)
+
+
+class TestPredictorMetrics:
+    def test_steered_counters(self, collector):
+        collector.record_steered("s", 3)
+        collector.record_steered("s", 0)
+        assert collector.placements_steered_total == 2
+        assert collector.steer_fallback_tasks_total == 3
+        with pytest.raises(ValueError):
+            collector.record_steered("s", -1)
+
+    def test_predictor_commit_outcome_split(self, collector):
+        collector.record_predictor_commit("s", steered=True, conflicted=False)
+        collector.record_predictor_commit("s", steered=True, conflicted=True)
+        collector.record_predictor_commit("s", steered=False, conflicted=True)
+        assert collector.predict_conflicts_avoided_total == 1
+        assert collector.predict_conflicts_incurred_total == 1
+
+    def test_escalation_latency_histogram_per_policy(self, collector):
+        collector.record_escalated("s", attempts=4, policy="predictive")
+        collector.record_escalated("s", attempts=6, policy="predictive")
+        collector.record_escalated("s", attempts=2, policy="starvation")
+        histograms = {
+            (metric.name, tuple(sorted(metric.labels.items()))): metric
+            for metric in collector.registry
+            if metric.name == "jobs.attempts_until_escalation"
+        }
+        predictive = histograms[
+            (
+                "jobs.attempts_until_escalation",
+                (("policy", "predictive"), ("scheduler", "s")),
+            )
+        ]
+        assert predictive.summary()["count"] == 2
+        assert predictive.summary()["mean"] == pytest.approx(5.0)
+        starvation = histograms[
+            (
+                "jobs.attempts_until_escalation",
+                (("policy", "starvation"), ("scheduler", "s")),
+            )
+        ]
+        assert starvation.summary()["count"] == 1

@@ -172,3 +172,133 @@ def test_cli_verbose_prints_sim_stats(capsys):
     out = capsys.readouterr().out
     assert "sim.events_processed" in out
     assert "sim.runs" in out
+
+
+def _escalation_metrics_record(scheduler: str, policy: str, attempts):
+    """A minimal ``run.metrics`` record carrying one escalation histogram."""
+    histogram = obs.Histogram(
+        "jobs.attempts_until_escalation",
+        {"scheduler": scheduler, "policy": policy},
+    )
+    for value in attempts:
+        histogram.observe(value)
+    return {
+        "name": "run.metrics",
+        "t": 0.0,
+        "fields": {
+            "histograms": [
+                {
+                    "name": histogram.name,
+                    "labels": histogram.labels,
+                    "state": histogram.state(),
+                }
+            ]
+        },
+    }
+
+
+def _conflict_record(machine: int, tasks: int, cause: str, sched="omega-batch-0"):
+    return {
+        "name": "txn.conflict",
+        "t": 1.0,
+        "sched": sched,
+        "fields": {"machine": machine, "tasks": tasks, "cause": cause},
+    }
+
+
+class TestContendedMachineRows:
+    def test_ranked_by_tasks_with_cause_split(self):
+        summary = obs.TraceSummary.from_records(
+            [
+                _conflict_record(3, 2, "capacity"),
+                _conflict_record(3, 2, "stale_sequence"),
+                _conflict_record(7, 9, "partial_capacity"),
+                _conflict_record(1, 4, "capacity"),
+            ]
+        )
+        rows = summary.contended_machine_rows()
+        assert [row["machine"] for row in rows] == [7, 3, 1]
+        top = rows[0]
+        assert top == {
+            "machine": 7,
+            "events": 1,
+            "tasks": 9,
+            "stale_sequence": 0,
+            "partial_capacity": 1,
+            "capacity": 0,
+        }
+        assert rows[1]["events"] == 2
+        assert rows[1]["stale_sequence"] == rows[1]["capacity"] == 1
+
+    def test_events_then_machine_id_break_ties(self):
+        summary = obs.TraceSummary.from_records(
+            [
+                _conflict_record(5, 4, "capacity"),
+                _conflict_record(2, 2, "capacity"),
+                _conflict_record(2, 2, "capacity"),
+                _conflict_record(8, 4, "capacity"),
+                _conflict_record(8, 0, "capacity"),
+            ]
+        )
+        machines = [row["machine"] for row in summary.contended_machine_rows()]
+        # Everything ties on tasks=4; 2 and 8 also tie on events=2, so
+        # the machine id decides, and 5 sorts last on its single event.
+        assert machines == [2, 8, 5]
+
+    def test_top_n_truncates_and_validates(self):
+        records = [_conflict_record(m, m + 1, "capacity") for m in range(5)]
+        summary = obs.TraceSummary.from_records(records)
+        assert len(summary.contended_machine_rows(top_n=2)) == 2
+        with pytest.raises(ValueError):
+            summary.contended_machine_rows(top_n=0)
+
+
+class TestEscalationRows:
+    def test_rows_from_run_metrics_histograms(self):
+        summary = obs.TraceSummary.from_records(
+            [
+                _escalation_metrics_record(
+                    "omega-batch-0", "predictive", [2.0, 4.0]
+                ),
+                _escalation_metrics_record(
+                    "omega-batch-1", "starvation", [10.0]
+                ),
+            ]
+        )
+        rows = summary.escalation_rows()
+        assert [(row["scheduler"], row["policy"]) for row in rows] == [
+            ("omega-batch-0", "predictive"),
+            ("omega-batch-1", "starvation"),
+        ]
+        predictive, starvation = rows
+        assert predictive["escalations"] == 2
+        assert predictive["mean_attempts"] == pytest.approx(3.0)
+        assert starvation["escalations"] == 1
+        assert starvation["max"] == pytest.approx(10.0)
+
+    def test_merge_across_runs(self):
+        # Two runs of the same (scheduler, policy) fold into one row.
+        summary = obs.TraceSummary.from_records(
+            [
+                _escalation_metrics_record("omega-batch-0", "predictive", [2.0]),
+                _escalation_metrics_record("omega-batch-0", "predictive", [6.0]),
+            ]
+        )
+        (row,) = summary.escalation_rows()
+        assert row["escalations"] == 2
+        assert row["mean_attempts"] == pytest.approx(4.0)
+
+
+def test_render_and_rollup_surface_contention_sections():
+    summary = obs.TraceSummary.from_records(
+        [
+            _conflict_record(3, 2, "capacity"),
+            _escalation_metrics_record("omega-batch-0", "predictive", [2.0]),
+        ]
+    )
+    text = summary.render()
+    assert "top contended machines (txn.conflict rejections):" in text
+    assert "escalation latency (attempts until gang→incremental):" in text
+    rollup = summary.json_rollup()
+    assert rollup["contended_machines"][0]["machine"] == 3
+    assert rollup["escalation_rows"][0]["policy"] == "predictive"

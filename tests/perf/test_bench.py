@@ -33,6 +33,7 @@ class TestRunBenchmarks:
             "tracing_overhead",
             "sweep_serial_parallel",
             "sanitizer_overhead",
+            "predictor_overhead",
         }
         assert benchmarks["snapshot_resync"]["speedup"] > 0
         assert benchmarks["placement_pack"]["placements_per_s"] > 0
@@ -59,6 +60,11 @@ class TestRunBenchmarks:
             assert sanitizer[f"{mode}_ops_per_s"] > 0
         assert sanitizer["off_throughput_ratio"] > 0
         assert sanitizer["on_overhead_x"] > 0
+        predictor = benchmarks["predictor_overhead"]
+        for mode in ("plain", "off", "on"):
+            assert predictor[f"{mode}_attempts_per_s"] > 0
+        assert predictor["off_throughput_ratio"] > 0
+        assert predictor["on_overhead_x"] > 0
 
     def test_json_serializable(self, smoke_results):
         assert json.loads(json.dumps(smoke_results))
@@ -97,6 +103,7 @@ class TestRunBenchmarks:
             "serial_parallel_identical",
             "parallel_speedup",
             "sanitizer_off_throughput",
+            "predictor_off_throughput",
         }
         by_name = {e["name"]: e for e in smoke_results["expectations"]}
         # Row identity is enforced even in smoke mode; timing floors are
