@@ -241,6 +241,23 @@ def _representative_experiment(
             seed=seed,
             jobs=jobs,
         )
+    if name == "federation":
+        # The multi-cell paths: shared-event-loop cells, front-door
+        # routing and health checks, digest publication, cell blackouts
+        # with in-flight loss and backlog migration, feed partitions and
+        # link flaps, and the end-to-end accounting invariant — the
+        # fed.* and fault.cell_* trace events replay exactly or fail.
+        from repro.experiments.federation import federation_rows
+
+        return lambda jobs=1: federation_rows(
+            cells=(1, 2),
+            staleness_values=(0.0, 120.0),
+            intensities=(0.0, 5.0),
+            scale=scale,
+            horizon=horizon,
+            seed=seed,
+            jobs=jobs,
+        )
     raise ValueError(f"unknown experiment: {name!r}")
 
 
@@ -253,13 +270,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--experiment",
-        choices=("fig5c", "fig8", "fig14", "resilience", "conflict-avoidance"),
+        choices=(
+            "fig5c",
+            "fig8",
+            "fig14",
+            "resilience",
+            "conflict-avoidance",
+            "federation",
+        ),
         default="fig8",
         help="representative experiment to double-run (default: fig8); "
         "'resilience' double-runs a fault-injected sweep so the chaos "
         "engine and retry policies are themselves gated; "
         "'conflict-avoidance' double-runs a predictor-on/off sweep so "
-        "the predictive steering and escalation paths are gated too",
+        "the predictive steering and escalation paths are gated too; "
+        "'federation' double-runs a multi-cell sweep with cell "
+        "blackouts, feed partitions and link flaps",
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
     parser.add_argument(

@@ -280,13 +280,13 @@ class OmegaScheduler(QueueScheduler):
         in-flight transaction). The persistent view resyncs next time."""
         self._snapshot = None
 
-    def crash(self) -> Job | None:
+    def crash(self, requeue: bool = True) -> Job | None:
         """Crash semantics for the predictor: the contention model is
         in-memory scheduler state, so it dies with the process — the
         restarted scheduler re-learns from post-restart conflicts (see
         :meth:`repro.faults.predictor.ConflictPredictor.reset`)."""
         was_down = self.is_down
-        lost = super().crash()
+        lost = super().crash(requeue=requeue)
         if not was_down and self.predictor is not None:
             self.predictor.reset()
             rec = _obs.RECORDER

@@ -55,6 +55,7 @@ from repro.analysis import sanitizer as _san
 from repro.obs import timeline as obs_timeline
 from repro.experiments import ablations, conflict_modes, hifi_perf, mesos, monolithic
 from repro.experiments import conflict_avoidance as conflict_avoidance_experiments
+from repro.experiments import federation as federation_experiments
 from repro.experiments import mapreduce as mapreduce_experiments
 from repro.experiments import omega as omega_experiments
 from repro.experiments import resilience as resilience_experiments
@@ -236,6 +237,47 @@ def _cmd_conflict_avoidance(args) -> list[dict]:
     )
 
 
+def _cmd_federation(args) -> list[dict]:
+    if args.degenerate_gate:
+        federated, single = federation_experiments.degenerate_rows(
+            seed=args.seed,
+            scale=args.scale,
+            horizon=args.hours * 3600.0,
+            jobs=args.jobs,
+        )
+        columns = federation_experiments.SHARED_COLUMNS
+        if format_table(federated, columns) != format_table(single, columns):
+            print(
+                "omega-sim federation: degenerate-baseline gate FAILED — "
+                "the 1-cell zero-staleness zero-intensity federation table "
+                "differs from the single-cell omega table",
+                file=sys.stderr,
+            )
+            print(format_table(federated, columns), file=sys.stderr)
+            print(format_table(single, columns), file=sys.stderr)
+            raise SystemExit(1)
+        print(
+            "federation: degenerate-baseline gate OK (1-cell federation is "
+            "byte-identical to the single-cell omega baseline)",
+            file=sys.stderr,
+        )
+        return federated
+    if args.smoke:
+        return federation_experiments.federation_smoke_rows(
+            seed=args.seed, jobs=args.jobs
+        )
+    cells = tuple(int(value) for value in args.cells.split(","))
+    staleness = tuple(float(value) for value in args.staleness.split(","))
+    intensities = tuple(float(value) for value in args.intensities.split(","))
+    return federation_experiments.federation_rows(
+        cells=cells,
+        staleness_values=staleness,
+        intensities=intensities,
+        policy=args.policy,
+        **_scaled_kwargs(args),
+    )
+
+
 def _cmd_validate(args) -> list[dict]:
     from repro.workload.validation import validate_all
 
@@ -290,6 +332,11 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
         "predictive conflict avoidance: predictor on/off x operating "
         "point x fault intensity",
     ),
+    "federation": (
+        _cmd_federation,
+        "federated multi-cell Omega: cell count x aggregate staleness x "
+        "cell-fault intensity (blackouts, feed partitions, link flaps)",
+    ),
     "validate": (_cmd_validate, "sanity-check the cluster presets"),
 }
 
@@ -315,6 +362,7 @@ JOBS_COMMANDS = frozenset(
         "ablation-placement",
         "resilience",
         "conflict-avoidance",
+        "federation",
     }
 )
 
@@ -344,6 +392,8 @@ PLOTS = {
                          "Conflict fraction vs hot-machine backoff window"),
     "resilience": ("architecture", "intensity", "wait_batch", False, False,
                    "Resilience: mean batch wait vs fault intensity"),
+    "federation": ("cells", "intensity", "wait_batch", False, False,
+                   "Federation: mean batch wait vs cell-fault intensity"),
 }
 
 
@@ -525,6 +575,53 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also steer placement with a conflict predictor "
                 "(independent of --policy; --policy predictive implies "
                 "it)",
+            )
+        if name == "federation":
+            sub.add_argument(
+                "--cells",
+                default=",".join(
+                    str(value)
+                    for value in federation_experiments.DEFAULT_CELL_COUNTS
+                ),
+                help="comma-separated federation sizes (member cells)",
+            )
+            sub.add_argument(
+                "--staleness",
+                default=",".join(
+                    str(value)
+                    for value in federation_experiments.DEFAULT_STALENESS
+                ),
+                help="comma-separated aggregate-view staleness intervals in "
+                "simulated seconds (0 = the router reads live digests)",
+            )
+            sub.add_argument(
+                "--intensities",
+                default=",".join(
+                    str(value)
+                    for value in federation_experiments.DEFAULT_INTENSITIES
+                ),
+                help="comma-separated cell-fault intensity multipliers over "
+                "the federation baseline mix (0 = fault-free)",
+            )
+            sub.add_argument(
+                "--policy",
+                choices=federation_experiments.ROUTING_POLICIES,
+                default="least-loaded",
+                help="front-door routing policy (see docs/FEDERATION.md)",
+            )
+            sub.add_argument(
+                "--smoke",
+                action="store_true",
+                help="CI smoke variant: tiny cells, short horizon, 1-2 "
+                "cells, fault-free and hostile intensities",
+            )
+            sub.add_argument(
+                "--degenerate-gate",
+                action="store_true",
+                help="run the degenerate-baseline gate instead of the "
+                "sweep: a 1-cell/zero-staleness/zero-fault federation "
+                "must reproduce the single-cell omega table "
+                "byte-for-byte (exit 1 on any difference)",
             )
         if name == "conflict-avoidance":
             sub.add_argument(
@@ -750,6 +847,15 @@ def _manifest_parameters(args: argparse.Namespace) -> dict:
         parameters["factors"] = getattr(args, "factors", "")
         parameters["intensities"] = getattr(args, "intensities", "")
         parameters["smoke"] = bool(getattr(args, "smoke", False))
+    if args.command == "federation":
+        parameters["cells"] = getattr(args, "cells", "")
+        parameters["staleness"] = getattr(args, "staleness", "")
+        parameters["intensities"] = getattr(args, "intensities", "")
+        parameters["policy"] = getattr(args, "policy", "")
+        parameters["smoke"] = bool(getattr(args, "smoke", False))
+        parameters["degenerate_gate"] = bool(
+            getattr(args, "degenerate_gate", False)
+        )
     return parameters
 
 

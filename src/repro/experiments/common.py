@@ -107,6 +107,18 @@ class LightweightConfig:
     #: at construction time so sweep configs pickled to ``--jobs N``
     #: workers carry the concrete value.
     timeline_interval: float | None = None
+    #: Jobs arrive from outside (a federation front door) rather than
+    #: from this simulation's own workload generators. When set, no
+    #: generators are created; the owner feeds :attr:`submit` directly.
+    external_arrivals: bool = False
+    #: Prefix applied to scheduler *display* names (e.g. ``"c0/"`` for
+    #: federation cell 0) so trace records and histogram labels from
+    #: many cells sharing one recorder stay distinguishable. Random
+    #: stream names are deliberately *not* prefixed: each cell owns its
+    #: own :class:`~repro.sim.RandomStreams`, and an unprefixed stream
+    #: name is what makes a 1-cell federation draw the same randomness
+    #: as the single-cell baseline.
+    name_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -166,10 +178,20 @@ class LightweightSimulation:
     simulation before running it.
     """
 
-    def __init__(self, config: LightweightConfig) -> None:
+    def __init__(
+        self,
+        config: LightweightConfig,
+        sim: Simulator | None = None,
+        streams: RandomStreams | None = None,
+    ) -> None:
         self.config = config
-        self.sim = Simulator()
-        self.streams = RandomStreams(config.seed)
+        #: An injected simulator/stream pair means this world is one
+        #: cell of a larger composition (the federation): the owner
+        #: drives the event loop, resets global id counters and the
+        #: sanitizer run, and publishes engine stats exactly once.
+        self._external_sim = sim is not None
+        self.sim = sim if sim is not None else Simulator()
+        self.streams = streams if streams is not None else RandomStreams(config.seed)
         self.metrics = MetricsCollector(period=config.period)
         self.cell = config.preset.cell()
         self.states: list[CellState] = []
@@ -193,14 +215,19 @@ class LightweightSimulation:
         if self._built:
             raise RuntimeError("simulation already built")
         self._built = True
-        if _san.ACTIVE is None and _san.env_enabled():
-            # Workers spawned by ``--jobs N`` inherit OMEGA_SAN=1 from the
-            # parent's ``--sanitize`` but not its installed sanitizer.
-            _san.install()
-        if _san.ACTIVE is not None:
-            _san.ACTIVE.begin_run(now=lambda: self.sim.now)
-        reset_job_ids()
-        reset_offer_ids()
+        if not self._external_sim:
+            if _san.ACTIVE is None and _san.env_enabled():
+                # Workers spawned by ``--jobs N`` inherit OMEGA_SAN=1 from
+                # the parent's ``--sanitize`` but not its installed
+                # sanitizer.
+                _san.install()
+            if _san.ACTIVE is not None:
+                _san.ACTIVE.begin_run(now=lambda: self.sim.now)
+            # Per-run global counters; a federation owner resets them
+            # once before building its cells (begin_run would wipe the
+            # sanitizer shadows of already-built sibling cells).
+            reset_job_ids()
+            reset_offer_ids()
         builder = getattr(self, f"_build_{self.config.architecture.replace('-', '_')}")
         builder()
         self._fill_initial_state()
@@ -373,9 +400,10 @@ class LightweightSimulation:
             ledger = AllocationLedger(state, self.sim)
             self.ledger = ledger
         placement = placement_fn(config.placement_strategy)
+        prefix = config.name_prefix
         batch_schedulers = []
         for i in range(config.num_batch_schedulers):
-            name = (
+            base_name = (
                 f"omega-batch-{i}"
                 if config.num_batch_schedulers > 1
                 else "omega-batch"
@@ -383,7 +411,7 @@ class LightweightSimulation:
             predictor = self._predictor()
             batch_schedulers.append(
                 OmegaScheduler(
-                    name,
+                    prefix + base_name,
                     self.sim,
                     self.metrics,
                     state,
@@ -396,14 +424,14 @@ class LightweightSimulation:
                     ledger=ledger,
                     conflict_avoidance_cooldown=config.conflict_avoidance_cooldown,
                     placement=placement,
-                    retry_policy=self._retry_policy(name, predictor),
+                    retry_policy=self._retry_policy(base_name, predictor),
                     predictor=predictor,
                 )
             )
         pool = SchedulerPool(batch_schedulers)
         if config.enable_preemption:
             service = PreemptingOmegaScheduler(
-                "omega-service",
+                prefix + "omega-service",
                 self.sim,
                 self.metrics,
                 state,
@@ -417,7 +445,7 @@ class LightweightSimulation:
         else:
             service_predictor = self._predictor()
             service = OmegaScheduler(
-                "omega-service",
+                prefix + "omega-service",
                 self.sim,
                 self.metrics,
                 state,
@@ -470,6 +498,9 @@ class LightweightSimulation:
     def _start_workload(self) -> None:
         assert self.submit is not None
         config = self.config
+        if config.external_arrivals:
+            self.generators = {}
+            return
         self.generators = {
             JobType.BATCH: WorkloadGenerator(
                 self.sim,
@@ -553,10 +584,25 @@ class LightweightSimulation:
                 cluster=self.config.preset.name,
             )
         self.sim.run(until=self.config.horizon)
+        return self.finalize()
+
+    def finalize(self) -> LightweightResult:
+        """Post-run bookkeeping: sanitizer end-of-run check, engine-stat
+        publication, the ``run.metrics`` trace record and result
+        assembly.
+
+        Split from :meth:`run` so a composition driving a *shared*
+        event loop (the federation harness) can run the simulator once
+        and then finalize each member cell. With an injected simulator,
+        engine stats are *not* published here — the owner publishes the
+        shared loop's stats exactly once.
+        """
         if _san.ACTIVE is not None:
             _san.ACTIVE.final_check(self.states)
         stats = self.sim.stats()
-        publish_sim_stats(stats)
+        if not self._external_sim:
+            publish_sim_stats(stats)
+        rec = _obs.RECORDER
         if rec.enabled:
             rec.event(
                 "run.metrics",

@@ -1,0 +1,161 @@
+"""Configuration for the federated multi-cell simulation.
+
+A federation is N independent Omega cells — each a full
+:class:`~repro.experiments.common.LightweightSimulation` world — behind
+a front-door router (see :mod:`repro.federation.router`). Both configs
+here are frozen/primitive-only in the same spirit as
+:class:`repro.faults.FaultConfig`, so federation sweep points stay
+picklable across ``--jobs N`` worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.common import LightweightConfig
+
+#: Front-door routing policies (Sliwko's taxonomy: static round-robin,
+#: dynamic least-loaded, and randomized load-proportional spreading).
+ROUTING_POLICIES = ("round-robin", "least-loaded", "weighted-random")
+
+
+@dataclass(frozen=True)
+class FederationFaultConfig:
+    """Cell-scoped fault classes injected by the federation chaos engine.
+
+    The default config injects nothing (:attr:`enabled` is False), which
+    keeps every zero-intensity federated run byte-identical to a
+    fault-free one; experiments define a baseline and scale it with
+    :meth:`scaled`, mirroring :class:`repro.faults.FaultConfig`.
+    """
+
+    #: Per-cell mean time between whole-cell blackouts (seconds); None
+    #: disables blackouts. A blackout crashes every scheduler in the
+    #: cell (in-flight commits are lost), drains the pending queues for
+    #: cross-cell migration, and recovers after :attr:`blackout_duration`.
+    blackout_mtbf: float | None = None
+    blackout_duration: float = 600.0
+    #: Per-cell mean time between aggregate-feed partitions (seconds);
+    #: None disables them. A partition freezes the cell's published
+    #: digest — the router keeps routing on the stale snapshot — until
+    #: it heals after :attr:`partition_duration`.
+    partition_mtbf: float | None = None
+    partition_duration: float = 900.0
+    #: Per-cell mean time between front-door link flaps (seconds); None
+    #: disables them. While the link is down the cell keeps scheduling
+    #: internally but new submissions to it time out at the front door.
+    flap_mtbf: float | None = None
+    flap_duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("blackout_mtbf", "partition_mtbf", "flap_mtbf"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("blackout_duration", "partition_duration", "flap_duration"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config injects any cell-scoped fault at all."""
+        return (
+            self.blackout_mtbf is not None
+            or self.partition_mtbf is not None
+            or self.flap_mtbf is not None
+        )
+
+    def scaled(self, intensity: float) -> "FederationFaultConfig":
+        """This config with every fault rate multiplied by ``intensity``.
+
+        Intensity 0 returns a fully disabled config (zero-intensity
+        sweep rows run the exact fault-free code path); intensity k
+        divides each MTBF by k.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        if intensity == 0:
+            return FederationFaultConfig()
+        return replace(
+            self,
+            blackout_mtbf=(
+                self.blackout_mtbf / intensity
+                if self.blackout_mtbf is not None
+                else None
+            ),
+            partition_mtbf=(
+                self.partition_mtbf / intensity
+                if self.partition_mtbf is not None
+                else None
+            ),
+            flap_mtbf=(
+                self.flap_mtbf / intensity if self.flap_mtbf is not None else None
+            ),
+        )
+
+
+@dataclass
+class FederationConfig:
+    """Everything that parameterizes one federated run.
+
+    ``cell_config`` is the per-cell template: every cell runs it with
+    ``external_arrivals`` set (the front door owns the workload
+    generators) and a ``c{i}/`` scheduler-name prefix. The front door
+    generates the combined arrival stream at ``num_cells`` times the
+    template's rate factors, so each cell carries roughly one cell's
+    load and a 1-cell federation degenerates to the single-cell
+    baseline exactly.
+    """
+
+    cell_config: LightweightConfig
+    num_cells: int = 1
+    #: Aggregate-view staleness: each cell publishes its
+    #: utilization/queue-depth digest every this many simulated seconds.
+    #: 0 means the router reads live state synchronously (and adds no
+    #: simulator events — the degenerate-baseline requirement).
+    staleness: float = 0.0
+    policy: str = "round-robin"
+    fault_config: FederationFaultConfig = field(
+        default_factory=FederationFaultConfig
+    )
+    #: How long the front door waits before declaring a submission to an
+    #: unreachable cell failed (deterministic health-check timeout).
+    route_timeout: float = 5.0
+    #: Exponential backoff for a failed cell: suspension doubles from
+    #: ``backoff_base`` per consecutive failure, capped at
+    #: ``backoff_cap``. A successful delivery resets the counter.
+    backoff_base: float = 10.0
+    backoff_cap: float = 300.0
+    #: Re-route budget per job before the front door abandons it
+    #: ("reroute-cap").
+    max_reroutes: int = 8
+    #: Cross-cell migration budget per job before the front door
+    #: abandons it ("migration-cap").
+    max_migrations: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_cells < 1:
+            raise ValueError(f"need at least one cell, got {self.num_cells}")
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; "
+                f"choose from {ROUTING_POLICIES}"
+            )
+        if self.staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {self.staleness}")
+        if self.route_timeout <= 0:
+            raise ValueError(
+                f"route_timeout must be positive, got {self.route_timeout}"
+            )
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                "need 0 < backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}, {self.backoff_cap}"
+            )
+        if self.max_reroutes < 1:
+            raise ValueError(f"max_reroutes must be >= 1, got {self.max_reroutes}")
+        if self.max_migrations < 1:
+            raise ValueError(
+                f"max_migrations must be >= 1, got {self.max_migrations}"
+            )

@@ -70,9 +70,13 @@ class SchedulerSummary:
 
 @dataclass
 class JobSummary:
-    """One job's path through the scheduler(s)."""
+    """One job's path through the scheduler(s).
 
-    job_id: int
+    ``job_id`` is the raw integer for single-run traces and the
+    run-prefixed string (``run2/17``) when several runs share a trace.
+    """
+
+    job_id: int | str
     sched: str | None = None
     attempts: int = 0
     conflicts: int = 0
@@ -96,14 +100,25 @@ class JobSummary:
 
 
 class TraceSummary:
-    """Aggregated view of one trace (possibly spanning several runs)."""
+    """Aggregated view of one trace (possibly spanning several runs).
+
+    When one JSONL file carries more than one run (a sweep, a federated
+    run's member cells, back-to-back ``omega`` invocations appending to
+    the same trace), scheduler names and job ids restart per run and
+    would silently roll up together. Multi-run traces therefore prefix
+    every rollup key with its run index (``run2/omega-batch``,
+    ``run2/17``); single-run traces keep bare names, byte-identical to
+    the historical output.
+    """
 
     def __init__(self) -> None:
         self.records = 0
         self.runs = 0
+        #: Set by :meth:`from_records` when the trace holds >1 run.
+        self._prefix_runs = False
         self.record_names: TallyCounter[str] = TallyCounter()
         self.schedulers: dict[str, SchedulerSummary] = {}
-        self.jobs: dict[int, JobSummary] = {}
+        self.jobs: dict[int | str, JobSummary] = {}
         self.max_t = 0.0
         #: ``timeline.cell`` samples: ``{"t", "run", ...fields}`` dicts.
         self.timeline_cell: list[dict[str, Any]] = []
@@ -120,6 +135,11 @@ class TraceSummary:
     @classmethod
     def from_records(cls, records: Iterable[dict[str, Any]]) -> "TraceSummary":
         summary = cls()
+        records = list(records)
+        total_runs = sum(
+            1 for record in records if record.get("name") == "run.start"
+        )
+        summary._prefix_runs = total_runs > 1
         for record in records:
             summary._ingest(record)
         return summary
@@ -130,7 +150,7 @@ class TraceSummary:
             entry = self.schedulers[name] = SchedulerSummary(name)
         return entry
 
-    def _job(self, job_id: int) -> JobSummary:
+    def _job(self, job_id: int | str) -> JobSummary:
         entry = self.jobs.get(job_id)
         if entry is None:
             entry = self.jobs[job_id] = JobSummary(job_id)
@@ -150,6 +170,13 @@ class TraceSummary:
         if name == "run.start":
             self.runs += 1
             return
+        if self._prefix_runs:
+            # Several runs share this trace: scheduler names and job ids
+            # restart per run, so every rollup key gets its run index.
+            if sched is not None:
+                sched = f"run{self.runs}/{sched}"
+            if job_id is not None:
+                job_id = f"run{self.runs}/{job_id}"
         if name == "timeline.cell":
             self.timeline_cell.append({"t": t, "run": self.runs, **fields})
             return
@@ -160,6 +187,11 @@ class TraceSummary:
         if name == "run.metrics":
             for entry in fields.get("histograms", ()):
                 labels = entry.get("labels") or {}
+                if self._prefix_runs and "scheduler" in labels:
+                    labels = {
+                        **labels,
+                        "scheduler": f"run{self.runs}/{labels['scheduler']}",
+                    }
                 key = (entry["name"], tuple(sorted(labels.items())))
                 histogram = self.histograms.get(key)
                 if histogram is None:
@@ -236,6 +268,8 @@ class TraceSummary:
         elif name == "mesos.offer_issued":
             framework = fields.get("framework")
             if framework is not None:
+                if self._prefix_runs:
+                    framework = f"run{self.runs}/{framework}"
                 self._sched(framework).offers_issued += 1
         elif name == "mesos.offer_accepted" and sched is not None:
             self._sched(sched).offers_accepted += 1

@@ -56,6 +56,16 @@ Eight benchmarks cover the hot paths this repository optimises:
     retain at least :data:`PREDICTOR_OFF_FLOOR` of hook-free throughput
     — enforced even in smoke runs, since the guards' cost is
     size-independent.
+``federation_overhead``
+    A 1-cell/zero-staleness/zero-fault federated run against the plain
+    single-cell simulation of the identical configuration. The two runs
+    process the same event schedule (the degenerate-baseline identity),
+    so the ratio isolates the federation plumbing's cost: the shared
+    event loop, the front door on every submission, and per-cell
+    finalization. The federated run must retain at least
+    :data:`FEDERATION_OVERHEAD_FLOOR` of plain throughput — enforced
+    even in smoke runs, since the per-event overhead is
+    size-independent.
 ``sweep_serial_parallel``
     A reduced Figure 5c sweep run serially and with ``--jobs 4``
     through :mod:`repro.perf.parallel`. The rows must be byte-identical
@@ -142,6 +152,11 @@ SANITIZER_OFF_FLOOR = 0.9
 #: this fraction of hook-free throughput (i.e. the ``predictor is
 #: None`` guards may cost predictor-off runs at most ~10%).
 PREDICTOR_OFF_FLOOR = 0.9
+
+#: A 1-cell federated run must keep at least this fraction of the plain
+#: single-cell event-loop throughput (i.e. the front door + shared-loop
+#: plumbing may cost a degenerate federation at most ~10%).
+FEDERATION_OVERHEAD_FLOOR = 0.9
 
 #: Relative tolerance for baseline regression comparisons.
 DEFAULT_TOLERANCE = 0.25
@@ -858,6 +873,94 @@ def bench_predictor_overhead(
 
 
 # ----------------------------------------------------------------------
+# federation_overhead
+# ----------------------------------------------------------------------
+def bench_federation_overhead(
+    scale: float = 0.2,
+    horizon: float = 3600.0,
+    seed: int = 7,
+    cluster: str = "B",
+    repeats: int = 3,
+) -> dict:
+    """Cost of the federation plumbing on the degenerate baseline.
+
+    Two modes run the identical configuration end to end (build + run):
+
+    * ``plain`` — the single-cell :class:`~repro.experiments.common.
+      LightweightSimulation`, exactly what ``omega-sim omega`` runs;
+    * ``federated`` — the same cell wrapped in a 1-cell, zero-staleness,
+      zero-fault :class:`~repro.federation.FederatedSimulation`, so
+      every arrival crosses the front door and the cell shares the
+      federation's event loop.
+
+    The degenerate-baseline identity guarantees both modes process the
+    same simulated events (asserted), so ``federated_throughput_ratio``
+    (federated/plain events-per-second, best interleaved round) isolates
+    the plumbing's overhead. It must stay at least
+    :data:`FEDERATION_OVERHEAD_FLOOR`, smoke runs included — the
+    per-event cost does not depend on benchmark size.
+    """
+    from repro.experiments.common import LightweightSimulation
+    from repro.experiments.federation import build_federation
+    from repro.experiments.sweeps import batch_load_points
+    from repro.federation import FederationConfig
+
+    def cell_config():
+        config, _ = batch_load_points(
+            (1.0,), cluster=cluster, horizon=horizon, seed=seed, scale=scale
+        )[0]
+        return config
+
+    def run(mode: str) -> tuple[float, int]:
+        if mode == "plain":
+            world = LightweightSimulation(cell_config())
+            start = time.perf_counter()
+            result = world.run()
+        else:
+            federation = build_federation(
+                FederationConfig(cell_config=cell_config(), num_cells=1)
+            )
+            start = time.perf_counter()
+            result = federation.run()
+        return time.perf_counter() - start, result.events_processed
+
+    modes = ("plain", "federated")
+    for mode in modes:
+        run(mode)  # warm-up: first-touch allocation and code caches
+    timings = {mode: float("inf") for mode in modes}
+    events = {}
+    round_ratios = []
+    for _ in range(max(1, repeats)):
+        round_times = {}
+        for mode in modes:
+            round_times[mode], events[mode] = run(mode)
+            timings[mode] = min(timings[mode], round_times[mode])
+        round_ratios.append(round_times["plain"] / round_times["federated"])
+    # The degenerate identity is what makes the ratio meaningful: both
+    # modes must have dispatched the same event schedule.
+    assert events["plain"] == events["federated"], (
+        f"degenerate federation processed {events['federated']} events "
+        f"vs plain {events['plain']}"
+    )
+    rates = {
+        f"{mode}_events_per_s": (
+            events[mode] / wall_s if wall_s > 0 else float("inf")
+        )
+        for mode, wall_s in timings.items()
+    }
+    return {
+        "scale": scale,
+        "horizon_s": horizon,
+        "events_processed": events["plain"],
+        **{f"{mode}_s": wall_s for mode, wall_s in timings.items()},
+        **rates,
+        # Best paired round, not min-of-runs — scheduling noise can only
+        # make the federated mode look slower than it is.
+        "federated_throughput_ratio": max(round_ratios),
+    }
+
+
+# ----------------------------------------------------------------------
 # sweep_serial_parallel
 # ----------------------------------------------------------------------
 def bench_sweep_serial_parallel(
@@ -926,6 +1029,9 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "predictor_overhead": bench_predictor_overhead(
                 num_machines=500, attempts=2_000, repeats=3
             ),
+            "federation_overhead": bench_federation_overhead(
+                scale=0.05, horizon=1800.0, repeats=3
+            ),
             "sweep_serial_parallel": bench_sweep_serial_parallel(
                 jobs=jobs, horizon=300.0, scale=0.05, t_jobs=(0.1, 10.0),
                 clusters=("A",),
@@ -941,6 +1047,7 @@ def run_benchmarks(smoke: bool = False, jobs: int = 4) -> dict:
             "tracing_overhead": bench_tracing_overhead(),
             "sanitizer_overhead": bench_sanitizer_overhead(),
             "predictor_overhead": bench_predictor_overhead(),
+            "federation_overhead": bench_federation_overhead(),
             "sweep_serial_parallel": bench_sweep_serial_parallel(jobs=jobs),
         }
     results = {
@@ -1089,6 +1196,23 @@ def evaluate_expectations(results: dict) -> list[dict]:
         }
     )
 
+    federation = benchmarks["federation_overhead"]
+    expectations.append(
+        {
+            "name": "federation_overhead",
+            "value": federation["federated_throughput_ratio"],
+            "floor": FEDERATION_OVERHEAD_FLOOR,
+            "passed": (
+                federation["federated_throughput_ratio"]
+                >= FEDERATION_OVERHEAD_FLOOR
+            ),
+            # The front door's per-event cost is independent of
+            # benchmark size, so this floor holds in smoke runs too.
+            "enforced": True,
+            "reason": None,
+        }
+    )
+
     sweep = benchmarks["sweep_serial_parallel"]
     expectations.append(
         {
@@ -1131,6 +1255,7 @@ _THROUGHPUT_METRICS = {
     "tracing_overhead": ("noop_events_per_s", "active_events_per_s"),
     "sanitizer_overhead": ("off_ops_per_s",),
     "predictor_overhead": ("off_attempts_per_s",),
+    "federation_overhead": ("federated_events_per_s",),
     "sweep_serial_parallel": ("speedup",),
 }
 
@@ -1249,6 +1374,13 @@ def render_report(results: dict) -> str:
         f"({predictor['off_throughput_ratio']:.2f}x), "
         f"on {predictor['on_attempts_per_s']:.0f} "
         f"({predictor['on_overhead_x']:.2f}x slower)"
+    )
+    federation = results["benchmarks"]["federation_overhead"]
+    lines.append(
+        f"federation_overhead: plain {federation['plain_events_per_s']:.0f} "
+        f"ev/s, 1-cell federated {federation['federated_events_per_s']:.0f} "
+        f"({federation['federated_throughput_ratio']:.2f}x, "
+        f"{federation['events_processed']} events)"
     )
     sweep = results["benchmarks"]["sweep_serial_parallel"]
     identical = "identical" if sweep["identical_rows"] else "DIFFERENT"

@@ -236,13 +236,18 @@ class QueueScheduler(abc.ABC):
     # ------------------------------------------------------------------
     # Crash/restart (driven by the chaos engine)
     # ------------------------------------------------------------------
-    def crash(self) -> Job | None:
+    def crash(self, requeue: bool = True) -> Job | None:
         """Crash now: the in-flight transaction is lost and the
         scheduler serves nothing until :meth:`restart`.
 
-        The job being thought about (if any) is returned and requeued at
-        the front — its attempt never completed, so no attempt is
-        counted, but the planning work (busy time) is already spent.
+        The job being thought about (if any) is returned. With
+        ``requeue`` (the default, a transient scheduler crash) it goes
+        back to the front of the queue — its attempt never completed,
+        so no attempt is counted, but the planning work (busy time) is
+        already spent. With ``requeue=False`` (a whole-cell blackout)
+        the in-flight job is *not* requeued: the caller owns its fate,
+        e.g. the federation front door counting it as lost to the
+        blackout.
         """
         if self._down:
             return None
@@ -260,8 +265,19 @@ class QueueScheduler(abc.ABC):
             )
             self._busy = False
             self._abort_attempt(job)
-            self._requeue(job, at_front=True)
+            if requeue:
+                self._requeue(job, at_front=True)
         return lost
+
+    def drain_pending(self) -> list[Job]:
+        """Remove and return every queued (not yet in-flight) job.
+
+        Used by the federation front door to migrate a dead cell's
+        backlog to surviving cells. Order is preserved (front first).
+        """
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
 
     def restart(self) -> None:
         """Recover from a crash and resume serving the queue."""

@@ -92,6 +92,22 @@ class TestCli:
         output = capsys.readouterr().out
         assert "max-parallelism" in output
 
+    def test_federation_command_runs(self, capsys):
+        assert main([
+            "federation", "--cells", "1,2", "--staleness", "0",
+            "--intensities", "0", "--scale", "0.05", "--hours", "0.5",
+        ]) == 0
+        output = capsys.readouterr().out
+        for column in ("cells", "staleness", "intensity", "wait_p99", "migrated"):
+            assert column in output
+
+    def test_federation_degenerate_gate_passes(self, capsys):
+        assert main([
+            "federation", "--degenerate-gate", "--scale", "0.05",
+            "--hours", "0.5",
+        ]) == 0
+        assert "wait_batch" in capsys.readouterr().out
+
     def test_omega_smoke_with_timeline_trace(self, tmp_path, capsys):
         import json
 

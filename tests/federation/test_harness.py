@@ -1,0 +1,244 @@
+"""Integration tests for the federated simulation harness: the
+degenerate-baseline gate, determinism, graceful degradation, the job
+accounting invariant, and the merged wait-time percentiles."""
+
+import math
+
+import pytest
+
+from repro.experiments.federation import (
+    BASELINE_FED_FAULTS,
+    SHARED_COLUMNS,
+    build_federation,
+    federation_points,
+    federation_rows,
+    run_degenerate_gate,
+)
+from repro.federation import FederationFaultConfig
+from repro.obs.registry import Histogram
+from repro.workload.job import JobType
+
+SCALE = 0.05
+HORIZON = 1800.0
+SEED = 5
+
+
+def assert_same(actual, expected, label=""):
+    """Exact equality, treating NaN == NaN (empty-mean wait columns)."""
+    same = (
+        isinstance(actual, float)
+        and isinstance(expected, float)
+        and math.isnan(actual)
+        and math.isnan(expected)
+    ) or actual == expected
+    assert same, f"{label}: {actual!r} != {expected!r}"
+
+
+def rows_for(cells=(2,), staleness=(60.0,), intensities=(2.0,), jobs=1, **kwargs):
+    return federation_rows(
+        cells=cells,
+        staleness_values=staleness,
+        intensities=intensities,
+        scale=SCALE,
+        horizon=HORIZON,
+        seed=SEED,
+        jobs=jobs,
+        **kwargs,
+    )
+
+
+def run_one(cells=2, staleness=60.0, intensity=2.0, **kwargs):
+    """Build and run a single federation point, returning the result."""
+    point = federation_points(
+        cells=(cells,),
+        staleness_values=(staleness,),
+        intensities=(intensity,),
+        scale=SCALE,
+        horizon=HORIZON,
+        seed=SEED,
+        **kwargs,
+    )[0]
+    federation = build_federation(point[0])
+    result = federation.run()
+    assert federation.check_invariants() == []
+    return result
+
+
+class TestDegenerateBaseline:
+    def test_one_cell_zero_staleness_matches_single_cell_byte_for_byte(self):
+        """The acceptance bar: a 1-cell, zero-staleness, zero-intensity
+        federation reproduces the single-cell omega table exactly —
+        run_degenerate_gate raises otherwise."""
+        table = run_degenerate_gate(horizon=HORIZON, seed=0, scale=SCALE)
+        header = table.splitlines()[0].split()
+        assert header == SHARED_COLUMNS
+
+
+class TestZeroIntensityIdentity:
+    def test_zero_intensity_matches_disabled_fault_config_exactly(self):
+        """Intensity 0 must run the exact fault-free code path: the
+        chaos engine is never installed and no stream is consumed."""
+        with_baseline = rows_for(intensities=(0.0,), faults=BASELINE_FED_FAULTS)
+        disabled = rows_for(intensities=(0.0,), faults=FederationFaultConfig())
+        assert len(with_baseline) == len(disabled) == 1
+        for key in with_baseline[0]:
+            assert_same(with_baseline[0][key], disabled[0][key], label=key)
+
+    def test_zero_intensity_reports_no_faults(self):
+        (row,) = rows_for(intensities=(0.0,))
+        assert row["blackouts"] == 0
+        assert row["partitions"] == 0
+        assert row["flaps"] == 0
+        assert row["lost"] == 0
+        assert row["migrated"] == 0
+
+
+class TestDeterminism:
+    def test_rerun_rows_identical(self):
+        first = rows_for(intensities=(3.0,))
+        second = rows_for(intensities=(3.0,))
+        assert first == second
+
+    def test_parallel_rows_identical_to_serial(self):
+        """--jobs N must be invisible in the output, faults included
+        (the determinism gate's --compare-jobs property, at test
+        scale)."""
+        serial = rows_for(cells=(1, 2), intensities=(0.0, 5.0))
+        parallel = rows_for(cells=(1, 2), intensities=(0.0, 5.0), jobs=2)
+        assert len(serial) == len(parallel) == 4
+        for index, (a, b) in enumerate(zip(serial, parallel)):
+            assert a.keys() == b.keys()
+            for key in a:
+                assert_same(a[key], b[key], label=f"row {index}: {key}")
+
+
+class TestGracefulDegradation:
+    @pytest.fixture(scope="class")
+    def hostile(self):
+        # rate_factor 2 keeps a standing backlog, so blackouts always
+        # find queued jobs to drain and migrate.
+        return run_one(cells=2, staleness=120.0, intensity=8.0, rate_factor=2.0)
+
+    def test_faults_actually_fired(self, hostile):
+        assert hostile.blackouts > 0
+        assert hostile.flaps > 0
+
+    def test_accounting_invariant_balances(self, hostile):
+        """submitted == scheduled + pending + abandoned + lost_to_blackout
+        — the checked invariant; FederatedSimulation.run() itself raises
+        on imbalance, this spells the equation out."""
+        counts = hostile.accounting
+        assert counts["submitted"] == (
+            counts["scheduled"]
+            + counts["pending"]
+            + counts["abandoned"]
+            + counts["lost_to_blackout"]
+        )
+        assert counts["submitted"] > 0
+
+    def test_blackouts_migrate_the_backlog(self, hostile):
+        # Two cells at this intensity always catch at least one blackout
+        # with a non-empty queue behind it.
+        assert hostile.jobs_migrated > 0
+
+    def test_federation_still_schedules_most_jobs(self, hostile):
+        assert hostile.unscheduled_fraction < 0.5
+
+
+class TestMergedWaitPercentiles:
+    """Federation-wide percentiles via Histogram.merge_state must equal
+    the percentiles of the pooled per-job samples, at bucket
+    resolution."""
+
+    @pytest.fixture(scope="class")
+    def merged_and_samples(self):
+        result = run_one(cells=2, staleness=60.0, intensity=2.0)
+        merged = result.merged_wait_histogram()
+        waits = [
+            wait
+            for cell in result.cell_results
+            for job_type in (JobType.BATCH, JobType.SERVICE)
+            for wait in cell.metrics.wait_times(job_type)
+        ]
+        return merged, waits
+
+    def test_merge_state_equals_pooling_the_samples(self, merged_and_samples):
+        merged, waits = merged_and_samples
+        assert len(waits) > 0
+        pooled = Histogram("jobs.wait_seconds", {})
+        for wait in waits:
+            pooled.observe(wait)
+        assert merged.count == pooled.count == len(waits)
+        for p in (50.0, 90.0, 99.0, 99.9):
+            assert merged.percentile(p) == pooled.percentile(p)
+
+    def test_percentiles_within_bucket_resolution_of_exact_samples(
+        self, merged_and_samples
+    ):
+        """Both the histogram estimate and the exact sample percentile
+        fall inside the same effective bucket (the interval between the
+        nearest non-empty bucket edges around the target rank)."""
+        merged, waits = merged_and_samples
+        ordered = sorted(waits)
+        for p in (50.0, 90.0, 99.0, 99.9):
+            target = p / 100.0 * merged.count
+            rank = max(0, math.ceil(target) - 1)
+            exact = ordered[rank]
+            lower, upper = self._effective_bucket(merged, target)
+            estimate = merged.percentile(p)
+            assert lower - 1e-9 <= estimate <= upper + 1e-9, (p, estimate)
+            assert lower - 1e-9 <= exact <= upper + 1e-9, (p, exact)
+
+    @staticmethod
+    def _effective_bucket(hist, target):
+        """The interval the histogram interpolates the target rank in:
+        from the upper edge of the last non-empty bucket before it to
+        its own bucket's upper edge (clamped to observed min/max)."""
+        cumulative = 0.0
+        lower = hist._min
+        for index, count in enumerate(hist.counts):
+            if count == 0:
+                continue
+            upper = (
+                hist.bounds[index] if index < len(hist.bounds) else hist._max
+            )
+            if cumulative + count >= target:
+                return lower, min(upper, hist._max)
+            cumulative += count
+            lower = upper
+        return lower, hist._max
+
+
+class TestResultShape:
+    def test_row_schema(self):
+        (row,) = rows_for()
+        for column in SHARED_COLUMNS:
+            assert column in row
+        for column in (
+            "cells",
+            "staleness",
+            "intensity",
+            "policy",
+            "wait_p50",
+            "wait_p99",
+            "wait_p999",
+            "submitted",
+            "scheduled",
+            "pending",
+            "lost",
+            "migrated",
+            "rerouted",
+            "blackouts",
+            "partitions",
+            "flaps",
+        ):
+            assert column in row
+
+    def test_grid_order_is_cells_staleness_intensity(self):
+        rows = rows_for(cells=(1, 2), staleness=(0.0, 60.0), intensities=(0.0,))
+        assert [(r["cells"], r["staleness"]) for r in rows] == [
+            (1, 0.0),
+            (1, 60.0),
+            (2, 0.0),
+            (2, 60.0),
+        ]

@@ -1,0 +1,103 @@
+"""Multi-run trace rollups: when one JSONL holds several runs, the
+summary prefixes scheduler and job keys with the run index so runs
+never alias; a single-run trace stays byte-identical to before."""
+
+from repro import obs
+
+
+def run_start(architecture="omega", seed=0):
+    return {
+        "kind": "event",
+        "name": "run.start",
+        "t": 0.0,
+        "fields": {"architecture": architecture, "seed": seed},
+    }
+
+
+def commit(sched, job, t=1.0, attempt=1):
+    return {
+        "kind": "event",
+        "name": "txn.commit",
+        "t": t,
+        "sched": sched,
+        "job": job,
+        "attempt": attempt,
+        "fields": {"accepted": 4, "rejected": 0, "outcome": "success"},
+    }
+
+
+def busy(sched, t=1.0):
+    return {
+        "kind": "event",
+        "name": "sched.busy",
+        "t": t,
+        "sched": sched,
+        "fields": {"busy_s": 0.5, "conflict_retry": False},
+    }
+
+
+class TestMultiRunPrefixing:
+    def test_two_runs_same_scheduler_name_stay_separate(self):
+        """The regression this guards: two runs whose schedulers share a
+        name used to merge into one rollup entry."""
+        records = [
+            run_start(seed=0),
+            busy("omega-batch", t=1.0),
+            commit("omega-batch", job=1, t=2.0),
+            run_start(seed=1),
+            busy("omega-batch", t=1.0),
+            commit("omega-batch", job=1, t=2.0),
+        ]
+        summary = obs.TraceSummary.from_records(records)
+        assert summary.runs == 2
+        assert set(summary.scheduler_names()) == {
+            "run1/omega-batch",
+            "run2/omega-batch",
+        }
+        for name in summary.scheduler_names():
+            assert summary.schedulers[name].txn_committed == 1
+
+    def test_job_ids_are_run_scoped(self):
+        records = [
+            run_start(seed=0),
+            commit("omega-batch", job=17),
+            run_start(seed=1),
+            commit("omega-batch", job=17),
+        ]
+        summary = obs.TraceSummary.from_records(records)
+        assert set(summary.jobs) == {"run1/17", "run2/17"}
+
+    def test_single_run_keys_stay_bare(self):
+        """A single-run trace must roll up byte-identically to before
+        multi-run support: no prefixes anywhere."""
+        records = [
+            run_start(),
+            busy("omega-batch"),
+            commit("omega-batch", job=3),
+        ]
+        summary = obs.TraceSummary.from_records(records)
+        assert summary.runs == 1
+        assert set(summary.scheduler_names()) == {"omega-batch"}
+        assert set(summary.jobs) == {3}
+
+    def test_records_without_run_start_stay_bare(self):
+        """Fragment traces (no run.start at all) keep bare keys too."""
+        summary = obs.TraceSummary.from_records([commit("omega-batch", job=3)])
+        assert set(summary.scheduler_names()) == {"omega-batch"}
+        assert set(summary.jobs) == {3}
+
+    def test_render_shows_run_prefixed_sections(self):
+        records = [
+            run_start(seed=0),
+            busy("omega-batch"),
+            commit("omega-batch", job=1),
+            run_start(seed=1),
+            busy("omega-batch"),
+            commit("omega-batch", job=1),
+        ]
+        summary = obs.TraceSummary.from_records(records)
+        text = summary.render()
+        assert "run1/omega-batch" in text
+        assert "run2/omega-batch" in text
+        rollup = summary.json_rollup()
+        assert rollup["runs"] == 2

@@ -34,6 +34,7 @@ class TestRunBenchmarks:
             "sweep_serial_parallel",
             "sanitizer_overhead",
             "predictor_overhead",
+            "federation_overhead",
         }
         assert benchmarks["snapshot_resync"]["speedup"] > 0
         assert benchmarks["placement_pack"]["placements_per_s"] > 0
@@ -65,6 +66,11 @@ class TestRunBenchmarks:
             assert predictor[f"{mode}_attempts_per_s"] > 0
         assert predictor["off_throughput_ratio"] > 0
         assert predictor["on_overhead_x"] > 0
+        federation = benchmarks["federation_overhead"]
+        assert federation["events_processed"] > 0
+        assert federation["plain_events_per_s"] > 0
+        assert federation["federated_events_per_s"] > 0
+        assert federation["federated_throughput_ratio"] > 0
 
     def test_json_serializable(self, smoke_results):
         assert json.loads(json.dumps(smoke_results))
@@ -104,6 +110,7 @@ class TestRunBenchmarks:
             "parallel_speedup",
             "sanitizer_off_throughput",
             "predictor_off_throughput",
+            "federation_overhead",
         }
         by_name = {e["name"]: e for e in smoke_results["expectations"]}
         # Row identity is enforced even in smoke mode; timing floors are
@@ -116,6 +123,9 @@ class TestRunBenchmarks:
         assert by_name["placement_speedup"]["enforced"]
         assert by_name["commit_batch_speedup"]["enforced"]
         assert by_name["commit_batch_identical"]["enforced"]
+        # The 1-cell federation's per-event overhead is size-independent,
+        # so its throughput floor holds even at smoke sizes.
+        assert by_name["federation_overhead"]["enforced"]
         assert not by_name["paper_scale_shape"]["enforced"]
         assert not by_name["resync_speedup"]["enforced"]
         assert not by_name["tracing_noop_throughput"]["enforced"]

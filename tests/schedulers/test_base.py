@@ -116,3 +116,51 @@ class TestServiceLoop:
     def test_invalid_attempt_limit(self, sim, metrics):
         with pytest.raises(ValueError):
             CountingScheduler("s", sim, metrics, attempt_limit=0)
+
+
+class TestCrashAndDrain:
+    """Crash/restart semantics the federation blackout path relies on."""
+
+    def busy_scheduler(self, sim, metrics, queued=3):
+        scheduler = CountingScheduler("s", sim, metrics)
+        jobs = [make_job() for _ in range(queued + 1)]
+        for job in jobs:
+            scheduler.submit(job)
+        sim.run(until=0.5)  # first job is mid-decision, rest queued
+        assert scheduler.is_busy
+        return scheduler, jobs
+
+    def test_crash_default_requeues_the_inflight_job(self, sim, metrics):
+        scheduler, jobs = self.busy_scheduler(sim, metrics)
+        lost = scheduler.crash()
+        assert lost is jobs[0]
+        assert scheduler.queue_depth == len(jobs)  # back at the front
+        scheduler.restart()
+        sim.run()
+        assert all(job.fully_scheduled_time is not None for job in jobs)
+
+    def test_crash_without_requeue_hands_the_job_to_the_caller(
+        self, sim, metrics
+    ):
+        scheduler, jobs = self.busy_scheduler(sim, metrics)
+        lost = scheduler.crash(requeue=False)
+        assert lost is jobs[0]
+        # The in-flight job is gone: the caller (e.g. the federation
+        # front door) owns its fate now.
+        assert scheduler.queue_depth == len(jobs) - 1
+        scheduler.restart()
+        sim.run()
+        assert lost.fully_scheduled_time is None
+
+    def test_drain_pending_empties_the_queue_in_order(self, sim, metrics):
+        scheduler, jobs = self.busy_scheduler(sim, metrics)
+        drained = scheduler.drain_pending()
+        assert drained == jobs[1:]
+        assert scheduler.queue_depth == 0
+        # The in-flight job is untouched by a drain.
+        assert scheduler.crash(requeue=False) is jobs[0]
+
+    def test_crash_while_idle_loses_nothing(self, sim, metrics):
+        scheduler = CountingScheduler("s", sim, metrics)
+        assert scheduler.crash(requeue=False) is None
+        assert scheduler.drain_pending() == []
